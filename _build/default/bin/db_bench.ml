@@ -1,0 +1,151 @@
+(* db_bench — LevelDB-style micro-benchmark CLI over the simulated stores.
+
+   Example:
+     db_bench --store pebblesdb --benchmarks fillrandom,readrandom \
+              --num 50000 --value-size 1024 *)
+
+open Cmdliner
+module Dyn = Pdb_kvs.Store_intf
+module B = Pdb_harness.Bench_util
+
+let engine_of_string = function
+  | "pebblesdb" -> Ok Pdb_harness.Stores.Pebblesdb
+  | "pebblesdb-1" -> Ok Pdb_harness.Stores.Pebblesdb_one
+  | "hyperleveldb" -> Ok Pdb_harness.Stores.Hyperleveldb
+  | "leveldb" -> Ok Pdb_harness.Stores.Leveldb
+  | "rocksdb" -> Ok Pdb_harness.Stores.Rocksdb
+  | "kyotocabinet" -> Ok Pdb_harness.Stores.Btree
+  | "wiredtiger" -> Ok Pdb_harness.Stores.Wiredtiger
+  | s -> Error (Printf.sprintf "unknown store %S" s)
+
+let run store_name benchmarks num value_size seed =
+  match engine_of_string store_name with
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+  | Ok engine ->
+    let store = Pdb_harness.Stores.open_engine engine in
+    let report name (p : B.phase) =
+      Printf.printf "%-14s : %8.1f KOps/s  (%d ops, %.1f MB written, %.1f MB read)\n%!"
+        name p.B.kops p.B.ops (B.mb p.B.bytes_written) (B.mb p.B.bytes_read)
+    in
+    let ran_fill = ref false in
+    let ensure_fill () =
+      if not !ran_fill then
+        ignore (B.fill_random store ~n:num ~value_bytes:value_size ~seed);
+      ran_fill := true
+    in
+    List.iter
+      (fun bench ->
+        match bench with
+        | "fillseq" -> report bench (B.fill_seq store ~n:num ~value_bytes:value_size ~seed)
+        | "fillrandom" ->
+          ran_fill := true;
+          report bench (B.fill_random store ~n:num ~value_bytes:value_size ~seed)
+        | "fillbatch" ->
+          (* batched writes: 100 entries per atomic batch *)
+          ran_fill := true;
+          let rng = Pdb_util.Rng.create seed in
+          report bench
+            (B.measure store num (fun () ->
+                 let i = ref 0 in
+                 while !i < num do
+                   let batch = Pdb_kvs.Write_batch.create () in
+                   for _ = 1 to min 100 (num - !i) do
+                     Pdb_kvs.Write_batch.put batch
+                       (B.key_of (Pdb_util.Rng.int rng num))
+                       (Pdb_util.Rng.alpha rng value_size);
+                     incr i
+                   done;
+                   store.Dyn.d_write batch
+                 done))
+        | "overwrite" ->
+          report bench (B.update_random store ~n:num ~value_bytes:value_size ~seed)
+        | "readrandom" ->
+          ensure_fill ();
+          report bench (B.read_random store ~n:num ~ops:num ~seed)
+        | "readseq" ->
+          (* full forward scan via one iterator *)
+          ensure_fill ();
+          report bench
+            (B.measure store num (fun () ->
+                 let it = store.Dyn.d_iterator () in
+                 it.Pdb_kvs.Iter.seek_to_first ();
+                 while it.Pdb_kvs.Iter.valid () do
+                   ignore (it.Pdb_kvs.Iter.key ());
+                   it.Pdb_kvs.Iter.next ()
+                 done))
+        | "readmissing" ->
+          (* lookups for keys that are never present: bloom-filter country *)
+          ensure_fill ();
+          let rng = Pdb_util.Rng.create (seed + 21) in
+          report bench
+            (B.measure store num (fun () ->
+                 for _ = 1 to num do
+                   ignore
+                     (store.Dyn.d_get
+                        (Printf.sprintf "missing%010d" (Pdb_util.Rng.int rng num)))
+                 done))
+        | "readhot" ->
+          (* reads concentrated on 1% of the key space *)
+          ensure_fill ();
+          let hot = max 1 (num / 100) in
+          let rng = Pdb_util.Rng.create (seed + 22) in
+          report bench
+            (B.measure store num (fun () ->
+                 for _ = 1 to num do
+                   ignore (store.Dyn.d_get (B.key_of (Pdb_util.Rng.int rng hot)))
+                 done))
+        | "seekrandom" ->
+          ensure_fill ();
+          report bench (B.seek_random store ~n:num ~ops:(num / 4) ~nexts:0 ~seed)
+        | "seekordered" ->
+          (* seeks at ascending positions (locality-friendly) *)
+          ensure_fill ();
+          let ops = num / 4 in
+          report bench
+            (B.measure store ops (fun () ->
+                 for i = 0 to ops - 1 do
+                   let it = store.Dyn.d_iterator () in
+                   it.Pdb_kvs.Iter.seek (B.key_of (i * (num / max 1 ops)))
+                 done))
+        | "deleterandom" -> report bench (B.delete_random store ~n:num ~seed)
+        | "compact" ->
+          store.Dyn.d_compact_all ();
+          Printf.printf "%-14s : done\n%!" bench
+        | "stats" ->
+          Printf.printf "%s\n  write-amp: %.2f\n%!" (store.Dyn.d_describe ())
+            (B.write_amp store)
+        | other -> Printf.printf "unknown benchmark %S (skipped)\n%!" other)
+      benchmarks;
+    Printf.printf "final write amplification: %.2f\n" (B.write_amp store);
+    store.Dyn.d_close ()
+
+let store_arg =
+  Arg.(value & opt string "pebblesdb"
+       & info [ "store" ] ~docv:"STORE"
+           ~doc:"pebblesdb | pebblesdb-1 | hyperleveldb | leveldb | rocksdb \
+                 | kyotocabinet | wiredtiger")
+
+let benchmarks_arg =
+  Arg.(value
+       & opt (list string) [ "fillrandom"; "readrandom"; "seekrandom" ]
+       & info [ "benchmarks" ] ~docv:"LIST"
+           ~doc:"fillseq, fillrandom, overwrite, readrandom, seekrandom, \
+                 deleterandom, compact, stats")
+
+let num_arg =
+  Arg.(value & opt int 50_000 & info [ "num" ] ~doc:"Number of keys.")
+
+let value_size_arg =
+  Arg.(value & opt int 1024 & info [ "value-size" ] ~doc:"Value bytes.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "db_bench" ~doc:"Micro-benchmarks over the simulated stores")
+    Term.(const run $ store_arg $ benchmarks_arg $ num_arg $ value_size_arg
+          $ seed_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,37 @@
+(* repro — run individual paper experiments by id (see DESIGN.md §4).
+
+   Usage:
+     repro --list
+     repro fig1.1 tab5.2 ...
+     repro all *)
+
+open Cmdliner
+
+let run ids list_only =
+  if list_only then begin
+    print_endline "available experiments:";
+    List.iter
+      (fun (e : Pdb_harness.Experiments.experiment) ->
+        Printf.printf "  %-10s %s\n" e.Pdb_harness.Experiments.id
+          e.Pdb_harness.Experiments.title)
+      Pdb_harness.Experiments.all
+  end
+  else
+    match ids with
+    | [] | [ "all" ] -> Pdb_harness.Experiments.run_all ()
+    | ids -> List.iter Pdb_harness.Experiments.run_by_id ids
+
+let ids =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
+         ~doc:"Experiment ids (fig1.1, tab5.2, ...) or 'all'.")
+
+let list_flag =
+  Arg.(value & flag & info [ "list" ] ~doc:"List available experiments.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "repro"
+       ~doc:"Regenerate the PebblesDB paper's tables and figures")
+    Term.(const run $ ids $ list_flag)
+
+let () = exit (Cmd.eval cmd)

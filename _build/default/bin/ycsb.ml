@@ -1,0 +1,67 @@
+(* ycsb — run YCSB workloads against any simulated store.
+
+   Example:
+     ycsb --store pebblesdb --workloads A,B,C --records 25000 --ops 10000 *)
+
+open Cmdliner
+module Dyn = Pdb_kvs.Store_intf
+
+let engine_of_string = function
+  | "pebblesdb" -> Some Pdb_harness.Stores.Pebblesdb
+  | "hyperleveldb" -> Some Pdb_harness.Stores.Hyperleveldb
+  | "leveldb" -> Some Pdb_harness.Stores.Leveldb
+  | "rocksdb" -> Some Pdb_harness.Stores.Rocksdb
+  | "wiredtiger" -> Some Pdb_harness.Stores.Wiredtiger
+  | _ -> None
+
+let run store_name workloads records ops value_size =
+  match engine_of_string store_name with
+  | None ->
+    prerr_endline ("unknown store " ^ store_name);
+    exit 1
+  | Some engine ->
+    let store = Pdb_harness.Stores.open_engine engine in
+    let report (r : Pdb_ycsb.Runner.result) =
+      Printf.printf
+        "%-8s : %8.1f KOps/s  (ops=%d r=%d u=%d i=%d s=%d rmw=%d; %.1f MB \
+         written)\n%!"
+        r.Pdb_ycsb.Runner.phase r.Pdb_ycsb.Runner.kops_per_s
+        r.Pdb_ycsb.Runner.ops r.Pdb_ycsb.Runner.reads
+        r.Pdb_ycsb.Runner.updates r.Pdb_ycsb.Runner.inserts
+        r.Pdb_ycsb.Runner.scans r.Pdb_ycsb.Runner.rmws
+        (float_of_int r.Pdb_ycsb.Runner.bytes_written /. 1048576.0)
+    in
+    report (Pdb_ycsb.Runner.load store ~records ~value_bytes:value_size ~seed:42);
+    List.iter
+      (fun name ->
+        match Pdb_ycsb.Workload.by_name name with
+        | Some spec ->
+          report
+            (Pdb_ycsb.Runner.run store spec ~records ~operations:ops
+               ~value_bytes:value_size ~seed:42)
+        | None -> Printf.printf "unknown workload %S (skipped)\n%!" name)
+      workloads;
+    store.Dyn.d_close ()
+
+let store_arg =
+  Arg.(value & opt string "pebblesdb" & info [ "store" ] ~docv:"STORE")
+
+let workloads_arg =
+  Arg.(value & opt (list string) [ "A"; "B"; "C"; "D"; "E"; "F" ]
+       & info [ "workloads" ] ~docv:"LIST" ~doc:"YCSB workloads (A-F).")
+
+let records_arg =
+  Arg.(value & opt int 25_000 & info [ "records" ] ~doc:"Records to load.")
+
+let ops_arg =
+  Arg.(value & opt int 10_000 & info [ "ops" ] ~doc:"Operations per workload.")
+
+let value_size_arg =
+  Arg.(value & opt int 1024 & info [ "value-size" ] ~doc:"Value bytes.")
+
+let cmd =
+  Cmd.v (Cmd.info "ycsb" ~doc:"YCSB benchmark over the simulated stores")
+    Term.(const run $ store_arg $ workloads_arg $ records_arg $ ops_arg
+          $ value_size_arg)
+
+let () = exit (Cmd.eval cmd)

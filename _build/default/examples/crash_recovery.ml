@@ -1,0 +1,53 @@
+(* Crash recovery: write, crash the simulated device mid-stream, reopen,
+   and verify the recovery guarantees (§4.3.1).
+
+   Run with: dune exec examples/crash_recovery.exe *)
+
+module P = Pebblesdb.Pebbles_store
+module Env = Pdb_simio.Env
+
+let key i = Printf.sprintf "key%06d" i
+let value i = Printf.sprintf "value-%06d" i
+
+let () =
+  let env = Env.create () in
+  let opts = { (Pdb_kvs.Options.pebblesdb ()) with
+               Pdb_kvs.Options.memtable_bytes = 8 * 1024 } in
+  let db = P.open_store opts ~env ~dir:"cr" in
+
+  (* phase 1: durable data — flushed sstables are synced *)
+  for i = 0 to 4_999 do
+    P.put db (key i) (value i)
+  done;
+  P.flush db;
+  print_endline "wrote and flushed keys 0..4999 (durable)";
+
+  (* phase 2: recent writes sitting in the (unsynced) WAL + memtable *)
+  for i = 5_000 to 5_499 do
+    P.put db (key i) (value i)
+  done;
+  print_endline "wrote keys 5000..5499 without sync (volatile)";
+
+  (* power failure *)
+  Env.crash env;
+  print_endline "-- simulated crash: unsynced bytes dropped --";
+
+  let db2 = P.open_store opts ~env ~dir:"cr" in
+  P.check_invariants db2;
+  let durable = ref 0 and missing = ref 0 in
+  for i = 0 to 4_999 do
+    match P.get db2 (key i) with
+    | Some v when v = value i -> incr durable
+    | Some _ | None -> failwith ("corrupted or lost durable key " ^ key i)
+  done;
+  for i = 5_000 to 5_499 do
+    if P.get db2 (key i) = None then incr missing
+  done;
+  Printf.printf
+    "after recovery: %d/5000 durable keys intact, %d/500 volatile keys \
+     (correctly) absent or replayed from synced WAL prefix\n"
+    !durable !missing;
+  Printf.printf "guards recovered from MANIFEST: %d committed\n"
+    (Array.fold_left ( + ) 0 (P.guard_counts db2));
+  print_endline "recovery OK: no corruption, guard metadata intact";
+  P.close db2

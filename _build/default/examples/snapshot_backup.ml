@@ -1,0 +1,86 @@
+(* Snapshots and consistent backup: take a point-in-time snapshot, keep
+   writing, and extract a consistent copy of the snapshotted state into a
+   second store — the pattern behind incremental backup and analytics
+   readers on a live database.
+
+   Run with: dune exec examples/snapshot_backup.exe *)
+
+module P = Pebblesdb.Pebbles_store
+module Iter = Pdb_kvs.Iter
+
+let key i = Printf.sprintf "account%06d" i
+let balance rng = Printf.sprintf "%d" (Pdb_util.Rng.int rng 10_000)
+
+let () =
+  let env = Pdb_simio.Env.create () in
+  let db = P.open_store (Pdb_kvs.Options.pebblesdb ()) ~env ~dir:"live" in
+  let rng = Pdb_util.Rng.create 2024 in
+
+  (* a base of account balances *)
+  for i = 0 to 9_999 do
+    P.put db (key i) (balance rng)
+  done;
+  Printf.printf "loaded 10k accounts\n";
+
+  (* freeze a consistent view *)
+  let snap = P.snapshot db in
+  let total_at_snapshot =
+    let it = P.iterator ~snapshot:snap db in
+    let sum = ref 0 in
+    it.Iter.seek_to_first ();
+    while it.Iter.valid () do
+      sum := !sum + int_of_string (it.Iter.value ());
+      it.Iter.next ()
+    done;
+    !sum
+  in
+  Printf.printf "snapshot taken; total balance at snapshot = %d\n"
+    total_at_snapshot;
+
+  (* concurrent-looking mutation storm on the live store *)
+  for _ = 1 to 20_000 do
+    P.put db (key (Pdb_util.Rng.int rng 10_000)) (balance rng)
+  done;
+  P.compact_all db;
+  Printf.printf "applied 20k updates and compacted the live store\n";
+
+  (* the snapshot still sums to the same total, entry for entry *)
+  let verify =
+    let it = P.iterator ~snapshot:snap db in
+    let sum = ref 0 and n = ref 0 in
+    it.Iter.seek_to_first ();
+    while it.Iter.valid () do
+      sum := !sum + int_of_string (it.Iter.value ());
+      incr n;
+      it.Iter.next ()
+    done;
+    (!sum, !n)
+  in
+  assert (fst verify = total_at_snapshot);
+  Printf.printf "snapshot unchanged after the storm: %d accounts, total %d\n"
+    (snd verify) (fst verify);
+
+  (* back the snapshot up into a fresh store *)
+  let backup_env = Pdb_simio.Env.create () in
+  let backup =
+    P.open_store (Pdb_kvs.Options.pebblesdb ()) ~env:backup_env ~dir:"backup"
+  in
+  let it = P.iterator ~snapshot:snap db in
+  it.Iter.seek_to_first ();
+  let copied = ref 0 in
+  while it.Iter.valid () do
+    P.put backup (it.Iter.key ()) (it.Iter.value ());
+    incr copied;
+    it.Iter.next ()
+  done;
+  P.flush backup;
+  Printf.printf "backup holds %d accounts (consistent as of the snapshot)\n"
+    !copied;
+
+  (* release: the live store may now reclaim superseded files *)
+  P.release_snapshot db snap;
+  P.put db "gc" "tick";
+  Printf.printf "snapshot released; live store space: %.1f MB\n"
+    (float_of_int (Pdb_simio.Env.total_file_bytes env) /. 1048576.0);
+  P.close backup;
+  P.close db

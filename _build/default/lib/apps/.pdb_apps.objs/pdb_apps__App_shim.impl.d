@@ -1,0 +1,1 @@
+lib/apps/app_shim.ml: Pdb_kvs Pdb_simio

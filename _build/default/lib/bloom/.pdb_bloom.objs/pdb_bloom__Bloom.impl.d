@@ -1,0 +1,1 @@
+lib/bloom/bloom.ml: Buffer Bytes Char List Pdb_util String

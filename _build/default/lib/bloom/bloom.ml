@@ -1,0 +1,71 @@
+(** Bloom filters.
+
+    PebblesDB attaches one filter to each sstable (§4.1) so that a get()
+    examining the several overlapping sstables of a guard only reads the
+    (with high probability) one table that actually contains the key.
+    Standard Kirsch–Mitzenmacher double hashing over MurmurHash3, matching
+    LevelDB's bloom strategy. *)
+
+type t = {
+  bits : Bytes.t;
+  nbits : int;
+  k : int; (* number of probes *)
+  mutable nkeys : int;
+}
+
+(** [create ~bits_per_key n] sizes a filter for [n] expected keys.
+    [bits_per_key = 10] gives ~1 % false positives (LevelDB's default). *)
+let create ?(bits_per_key = 10) n =
+  let nbits = max 64 (n * bits_per_key) in
+  let nbytes = (nbits + 7) / 8 in
+  let k = max 1 (min 30 (int_of_float (float_of_int bits_per_key *. 0.69))) in
+  { bits = Bytes.make nbytes '\000'; nbits = nbytes * 8; k; nkeys = 0 }
+
+let set_bit b i =
+  let byte = i / 8 and bit = i mod 8 in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lor (1 lsl bit)))
+
+let get_bit b i =
+  let byte = i / 8 and bit = i mod 8 in
+  Char.code (Bytes.get b byte) land (1 lsl bit) <> 0
+
+let probes t key =
+  let h1 = Pdb_util.Murmur3.hash32 ~seed:0xbc9f1d34 key in
+  let h2 = Pdb_util.Murmur3.hash32 ~seed:0x7a2d187e key in
+  let rec go i acc =
+    if i = t.k then acc
+    else
+      let h = (h1 + (i * h2)) land max_int in
+      go (i + 1) ((h mod t.nbits) :: acc)
+  in
+  go 0 []
+
+(** [add t key] inserts a key. *)
+let add t key =
+  List.iter (fun i -> set_bit t.bits i) (probes t key);
+  t.nkeys <- t.nkeys + 1
+
+(** [mem t key] is [false] only if the key was never added; may return
+    [true] spuriously (false positive). *)
+let mem t key = List.for_all (fun i -> get_bit t.bits i) (probes t key)
+
+(** [size_bytes t] is the in-memory footprint — reported in the Table 5.4
+    memory-consumption experiment. *)
+let size_bytes t = Bytes.length t.bits
+
+let nkeys t = t.nkeys
+
+(** [encode t] serialises the filter (bit array + probe count), for storing
+    filters alongside sstables. *)
+let encode t =
+  let buf = Buffer.create (Bytes.length t.bits + 8) in
+  Pdb_util.Varint.put_uvarint buf t.k;
+  Pdb_util.Varint.put_uvarint buf t.nkeys;
+  Pdb_util.Varint.put_length_prefixed buf (Bytes.to_string t.bits);
+  Buffer.contents buf
+
+let decode s =
+  let k, pos = Pdb_util.Varint.get_uvarint s 0 in
+  let nkeys, pos = Pdb_util.Varint.get_uvarint s pos in
+  let bits, _ = Pdb_util.Varint.get_length_prefixed s pos in
+  { bits = Bytes.of_string bits; nbits = String.length bits * 8; k; nkeys }

@@ -1,0 +1,29 @@
+(** Bloom filters.
+
+    PebblesDB attaches one filter to each sstable (§4.1) so that a get()
+    examining the several overlapping sstables of a guard only reads the
+    (with high probability) one table that actually contains the key.
+    Kirsch–Mitzenmacher double hashing over MurmurHash3, matching LevelDB's
+    bloom strategy. *)
+
+type t
+
+(** [create ~bits_per_key n] sizes a filter for [n] expected keys.
+    [bits_per_key = 10] (the default) gives ~1% false positives. *)
+val create : ?bits_per_key:int -> int -> t
+
+val add : t -> string -> unit
+
+(** [mem t key] is [false] only if the key was never added; may return
+    [true] spuriously (false positive), never a false negative. *)
+val mem : t -> string -> bool
+
+(** In-memory footprint — reported in the Table 5.4 memory experiment. *)
+val size_bytes : t -> int
+
+val nkeys : t -> int
+
+(** Serialise the filter for storing alongside an sstable. *)
+val encode : t -> string
+
+val decode : string -> t

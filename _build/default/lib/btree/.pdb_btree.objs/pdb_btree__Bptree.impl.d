@@ -1,0 +1,1 @@
+lib/btree/bptree.ml: Buffer Hashtbl List Pdb_kvs Pdb_simio Pdb_util Printf String

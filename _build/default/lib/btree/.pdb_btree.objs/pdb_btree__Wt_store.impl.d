@@ -1,0 +1,1 @@
+lib/btree/wt_store.ml: Bptree Filename List Pdb_kvs Pdb_simio Pdb_wal Printf String

@@ -1,0 +1,1 @@
+lib/core/flsm_level_iter.ml: Array Float Guard List Option Pdb_kvs Pdb_simio Pdb_sstable

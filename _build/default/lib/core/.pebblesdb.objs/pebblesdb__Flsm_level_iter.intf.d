@@ -1,0 +1,1 @@
+lib/core/flsm_level_iter.mli: Guard Pdb_kvs Pdb_simio Pdb_sstable

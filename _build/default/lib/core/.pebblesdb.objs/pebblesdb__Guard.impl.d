@@ -1,0 +1,1 @@
+lib/core/guard.ml: Array List Pdb_kvs Pdb_sstable String

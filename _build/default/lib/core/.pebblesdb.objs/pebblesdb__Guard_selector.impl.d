@@ -1,0 +1,1 @@
+lib/core/guard_selector.ml: Pdb_kvs Pdb_util

@@ -1,0 +1,1 @@
+lib/core/guard_selector.mli: Pdb_kvs

@@ -1,0 +1,1 @@
+lib/core/pebbles_store.ml: Array Buffer Flsm_level_iter Guard Guard_selector Hashtbl Int List Pdb_kvs Pdb_manifest Pdb_simio Pdb_sstable Pdb_wal Printf String

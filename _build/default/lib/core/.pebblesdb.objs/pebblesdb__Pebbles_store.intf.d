@@ -1,0 +1,1 @@
+lib/core/pebbles_store.mli: Pdb_kvs Pdb_simio Pdb_sstable

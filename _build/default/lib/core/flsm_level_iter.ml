@@ -1,0 +1,111 @@
+(** Iterator over one FLSM level.
+
+    Within a guard the sstables may overlap, so the guard's tables are
+    merged; across guards the ranges are disjoint and sorted, so the
+    iterator concatenates guard merges in order.  Empty guards are skipped
+    (the paper notes reads "skip over empty guards", §3.3).
+
+    When [parallel] is set (PebblesDB's parallel seeks, used for the last
+    level, §4.2), positioning the tables of a guard charges the device for
+    the *slowest* table only: each table's positioning cost is measured and
+    the remainder refunded, modelling overlapped IO; the modeled CPU cost
+    is still paid per table. *)
+
+module Ik = Pdb_kvs.Internal_key
+module Iter = Pdb_kvs.Iter
+module Clock = Pdb_simio.Clock
+module Table = Pdb_sstable.Table
+
+let create ~(level : Guard.level) ~cache ~block_cache ~hint ~on_table
+    ~(parallel : Clock.t option) () =
+  let nguards () = Array.length level.Guard.guards in
+  let cur_guard = ref (-1) in
+  let merged = ref None in
+  (* Position every table of guard [gi]; [target = None] means first key. *)
+  let position_guard gi target =
+    cur_guard := gi;
+    let tables = level.Guard.guards.(gi).Guard.tables in
+    match tables with
+    | [] -> merged := None
+    | _ ->
+      let costs = ref [] in
+      let children =
+        List.map
+          (fun m ->
+            let before =
+              match parallel with
+              | Some clock -> Clock.lane_time clock
+              | None -> 0.0
+            in
+            let reader = Pdb_sstable.Table_cache.find cache m in
+            let it = Table.iterator reader ~cache:block_cache ~hint in
+            on_table ();
+            (match target with
+             | Some k -> it.Iter.seek k
+             | None -> it.Iter.seek_to_first ());
+            (match parallel with
+             | Some clock -> costs := (Clock.lane_time clock -. before) :: !costs
+             | None -> ());
+            it)
+          tables
+      in
+      (match parallel with
+       | Some clock ->
+         (* overlap the reads: pay the slowest plus a queueing share of the
+            rest (parallel IO on flash is fast but not free, §3.4) *)
+         let total = List.fold_left ( +. ) 0.0 !costs in
+         let slowest = List.fold_left Float.max 0.0 !costs in
+         if total > slowest then
+           Clock.refund clock (0.5 *. (total -. slowest))
+       | None -> ());
+      merged :=
+        Some
+          (Pdb_kvs.Merging_iter.create ~positioned:true ~compare:Ik.compare
+             children)
+  in
+  let current () =
+    match !merged with
+    | Some it when it.Iter.valid () -> Some it
+    | Some _ | None -> None
+  in
+  let rec skip_empty_forward () =
+    match current () with
+    | Some _ -> ()
+    | None ->
+      if !cur_guard >= 0 && !cur_guard + 1 < nguards () then begin
+        position_guard (!cur_guard + 1) None;
+        skip_empty_forward ()
+      end
+  in
+  {
+    Iter.seek_to_first =
+      (fun () ->
+        if nguards () = 0 then merged := None
+        else begin
+          position_guard 0 None;
+          skip_empty_forward ()
+        end);
+    seek =
+      (fun target ->
+        let uk = Ik.user_key target in
+        let gi = Guard.guard_index level uk in
+        position_guard gi (Some target);
+        skip_empty_forward ());
+    next =
+      (fun () ->
+        (match current () with
+         | Some it -> it.Iter.next ()
+         | None -> ());
+        skip_empty_forward ());
+    valid = (fun () -> Option.is_some (current ()));
+    key =
+      (fun () ->
+        match current () with
+        | Some it -> it.Iter.key ()
+        | None -> invalid_arg "Flsm_level_iter: iterator is not valid");
+    value =
+      (fun () ->
+        match current () with
+        | Some it -> it.Iter.value ()
+        | None -> invalid_arg "Flsm_level_iter: iterator is not valid");
+  }

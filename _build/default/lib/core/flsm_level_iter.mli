@@ -1,0 +1,22 @@
+(** Iterator over one FLSM level.
+
+    Within a guard the sstables may overlap, so the guard's tables are
+    merged; across guards the ranges are disjoint and sorted, so the
+    iterator concatenates guard merges in order.  Empty guards are skipped
+    (§3.3).
+
+    When [parallel] carries the store's clock (PebblesDB's parallel seeks,
+    applied to the deepest populated level, §4.2), positioning a guard's
+    tables charges the device mostly for the slowest table — overlapped IO
+    with a queueing share for the rest; the modeled CPU is still paid per
+    table. *)
+
+val create :
+  level:Guard.level ->
+  cache:Pdb_sstable.Table_cache.t ->
+  block_cache:Pdb_sstable.Block_cache.t ->
+  hint:Pdb_simio.Device.read_hint ->
+  on_table:(unit -> unit) ->
+  parallel:Pdb_simio.Clock.t option ->
+  unit ->
+  Pdb_kvs.Iter.t

@@ -1,0 +1,30 @@
+(** Probabilistic guard selection (§3.2, §4.4).
+
+    A key becomes a guard by hashing: PebblesDB hashes every inserted key
+    with MurmurHash and examines its trailing (least-significant) set bits.
+    A key is a level-1 guard when [top_level_bits] consecutive LSBs are
+    set; each deeper level relaxes the requirement by [bit_decrement] bits,
+    so deeper levels have exponentially more guards.  Because selection is
+    a pure function of the key, guard choice is deterministic across runs
+    and across crash recovery, and — like a skip list — a key chosen at
+    level [i] is a guard at every level deeper than [i]. *)
+
+module O = Pdb_kvs.Options
+
+(** [guard_level opts key] is [Some l] when [key] qualifies as a guard at
+    levels [l .. max_levels-1], or [None] when it is an ordinary key. *)
+let guard_level (opts : O.t) key =
+  let hash = Pdb_util.Murmur3.hash32 key in
+  let trailing = Pdb_util.Murmur3.trailing_ones hash in
+  let rec find level =
+    if level >= opts.O.max_levels then None
+    else if trailing >= O.guard_bits opts ~level then Some level
+    else find (level + 1)
+  in
+  find 1
+
+(** [is_guard_at opts key ~level] tests guard-hood at one level. *)
+let is_guard_at (opts : O.t) key ~level =
+  match guard_level opts key with
+  | Some l -> l <= level
+  | None -> false

@@ -1,0 +1,17 @@
+(** Probabilistic guard selection (§3.2, §4.4).
+
+    A key becomes a guard by hashing: PebblesDB hashes every inserted key
+    with MurmurHash and examines its trailing (least-significant) set bits.
+    A key is a level-1 guard when [top_level_bits] consecutive LSBs are
+    set; each deeper level relaxes the requirement by [bit_decrement]
+    bits, so deeper levels have exponentially more guards.  Because
+    selection is a pure function of the key, guard choice is deterministic
+    across runs and across crash recovery, and — like a skip list — a key
+    chosen at level [i] is a guard at every level deeper than [i]. *)
+
+(** [guard_level opts key] is [Some l] when [key] qualifies as a guard at
+    levels [l .. max_levels-1], or [None] for an ordinary key. *)
+val guard_level : Pdb_kvs.Options.t -> string -> int option
+
+(** [is_guard_at opts key ~level] tests guard-hood at one level. *)
+val is_guard_at : Pdb_kvs.Options.t -> string -> level:int -> bool

@@ -1,0 +1,1329 @@
+(** PebblesDB: a key-value store built over Fragmented Log-Structured Merge
+    trees (chapters 3 and 4 of the paper).
+
+    The engine keeps the LevelDB-family shape — memtable + WAL in front of
+    a hierarchy of sstable levels recovered through a MANIFEST — but
+    replaces the per-level disjointness invariant with guards:
+
+    - level 0 collects fresh memtable flushes (no guards);
+    - every deeper level is partitioned by guards ({!Guard}); sstables
+      inside a guard may overlap, so compaction *appends* partitioned
+      fragments to the next level's guards instead of rewriting the next
+      level (§3.4 — the mechanism that removes write amplification);
+    - the last level merges within guards, and the second-to-last level
+      rewrites in place when merging into a full last-level guard would
+      cost more than [last_level_merge_io_factor] times the fragment
+      (§3.4's 25x heuristic);
+    - reads consult one guard per level, filtered by per-sstable bloom
+      filters (§4.1); seeks merge the guard's tables, with parallel seeks
+      on the last level and seek-triggered compaction (§4.2). *)
+
+module Ik = Pdb_kvs.Internal_key
+module Iter = Pdb_kvs.Iter
+module O = Pdb_kvs.Options
+module Env = Pdb_simio.Env
+module Clock = Pdb_simio.Clock
+module Device = Pdb_simio.Device
+module Table = Pdb_sstable.Table
+module Wal = Pdb_wal.Wal
+module Manifest = Pdb_manifest.Manifest
+module Stats = Pdb_kvs.Engine_stats
+
+type t = {
+  opts : O.t;
+  env : Env.t;
+  dir : string;
+  clock : Clock.t;
+  stats : Stats.t;
+  table_cache : Pdb_sstable.Table_cache.t;
+  block_cache : Pdb_sstable.Block_cache.t;
+  mutable mem : Pdb_kvs.Memtable.t;
+  mutable wal : Wal.Writer.t;
+  mutable wal_number : int;
+  mutable manifest : Manifest.t;
+  mutable next_file : int;
+  mutable last_seq : int;
+  mutable l0 : Table.meta list; (* newest first *)
+  levels : Guard.level array; (* slots 1 .. max_levels-1 *)
+  committed : (string, unit) Hashtbl.t array; (* guard keys per level *)
+  uncommitted : (string, unit) Hashtbl.t array;
+  mutable consecutive_seeks : int;
+  mutable obsolete : string list;
+  snapshots : Pdb_kvs.Snapshots.t;
+  mutable closed : bool;
+}
+
+let log_name dir n = Printf.sprintf "%s/%06d.log" dir n
+
+let new_file_number t =
+  let n = t.next_file in
+  t.next_file <- n + 1;
+  n
+
+let charge_cpu t ns = Clock.advance_cpu t.clock ns
+let last_level t = t.opts.O.max_levels - 1
+
+let user_range_overlap (m : Table.meta) key =
+  String.compare (Ik.user_key m.Table.smallest) key <= 0
+  && String.compare key (Ik.user_key m.Table.largest) <= 0
+
+(* While a snapshot is live, superseded files are pinned (a snapshot
+   iterator may still read them); they are collected at the next mutating
+   operation after the last snapshot is released. *)
+let gc_obsolete t =
+  if Pdb_kvs.Snapshots.is_empty t.snapshots then begin
+    List.iter (fun name -> Env.delete t.env name) t.obsolete;
+    t.obsolete <- []
+  end
+
+(* ---------- guard selection (§3.2) ---------- *)
+
+(* Record [key] as an uncommitted guard for every level where it qualifies
+   but is not yet committed.  Deterministic (hash-based), so re-inserting
+   the same key is idempotent. *)
+let note_guard_candidate t key =
+  match Guard_selector.guard_level t.opts key with
+  | None -> ()
+  | Some l ->
+    for level = l to last_level t do
+      if
+        (not (Hashtbl.mem t.committed.(level) key))
+        && not (Hashtbl.mem t.uncommitted.(level) key)
+      then Hashtbl.replace t.uncommitted.(level) key ()
+    done
+
+(* ---------- table building ---------- *)
+
+let make_builder t =
+  Table.Builder.create t.env ~dir:t.dir ~number:(new_file_number t)
+    ~block_bytes:t.opts.O.block_bytes ~bloom:t.opts.O.sstable_bloom
+    ~expected_keys:(max 16 (t.opts.O.sstable_target_bytes / 64))
+
+(* ---------- flush (§3.4 Put) ---------- *)
+
+let rec flush_memtable t =
+  if not (Pdb_kvs.Memtable.is_empty t.mem) then begin
+    let mem = t.mem in
+    let meta =
+      Clock.with_background t.clock (fun () ->
+          let builder = make_builder t in
+          List.iter
+            (fun (ik, v) ->
+              Clock.advance t.clock t.opts.O.cpu_per_merge_entry_ns;
+              Table.Builder.add builder ik v)
+            (Pdb_kvs.Memtable.contents mem);
+          Table.Builder.finish builder)
+    in
+    (match meta with
+     | Some meta ->
+       t.l0 <- meta :: t.l0;
+       t.stats.Stats.flushes <- t.stats.Stats.flushes + 1;
+       t.stats.Stats.sstables_built <- t.stats.Stats.sstables_built + 1
+     | None -> ());
+    Env.delete t.env (log_name t.dir t.wal_number);
+    let new_log = new_file_number t in
+    t.wal <- Wal.Writer.create t.env (log_name t.dir new_log);
+    t.wal_number <- new_log;
+    t.mem <- Pdb_kvs.Memtable.create ();
+    let e = Manifest.empty_edit () in
+    e.Manifest.log_number <- Some new_log;
+    e.Manifest.next_file_number <- Some t.next_file;
+    e.Manifest.last_sequence <- Some t.last_seq;
+    (match meta with
+     | Some m -> e.Manifest.added_files <- [ (0, m) ]
+     | None -> ());
+    Manifest.append t.manifest e;
+    maybe_compact t
+  end
+
+(* ---------- compaction (§3.4) ---------- *)
+
+and level_bytes t level = Guard.bytes t.levels.(level)
+
+(* Merge [inputs] and partition the result along the guards of
+   [target_level], appending fragments to their guards.
+
+   The 25x heuristic (§3.4): when compacting the second-highest level into
+   the last, a fragment aimed at a *full* last-level guard whose resident
+   data dwarfs the fragment is instead rewritten within the source level —
+   "FLSM will rewrite an sstable into the same level if the alternative is
+   to merge into a large sstable in the highest level".  Redirected output
+   is cut at *source*-level guard granularity with the large (last-level)
+   size cutoff, so the rewrite coalesces the guard instead of fragmenting
+   it further.  Returns the (attach_level, meta) list for the manifest
+   edit. *)
+and run_partition_merge t ~inputs ~source_level ~target_level =
+  let target = t.levels.(target_level) in
+  let bottom = target_level = last_level t in
+  let big_cutoff = 16 * t.opts.O.sstable_target_bytes in
+  (* per-target-guard redirect decision, fixed for the whole compaction *)
+  let redirect =
+    if bottom && source_level = target_level - 1 && source_level >= 1 then
+      Array.map
+        (fun (g : Guard.guard) ->
+          List.length g.Guard.tables >= t.opts.O.max_sstables_per_guard
+          &&
+          let guard_bytes =
+            List.fold_left
+              (fun a (m : Table.meta) -> a + m.Table.file_size)
+              0 g.Guard.tables
+          in
+          float_of_int guard_bytes
+          >= t.opts.O.last_level_merge_io_factor
+             *. float_of_int t.opts.O.sstable_target_bytes)
+        target.Guard.guards
+    else [||]
+  in
+  let scratch =
+    Pdb_sstable.Block_cache.create ~capacity:(8 * t.opts.O.block_bytes)
+  in
+  let children =
+    List.map
+      (fun m ->
+        (* bypass the table cache: compaction streams inputs sequentially *)
+        let reader =
+          Table.open_reader ~hint:Device.Sequential_read t.env ~dir:t.dir m
+        in
+        Table.iterator reader ~cache:scratch ~hint:Device.Sequential_read)
+      inputs
+  in
+  let merged = Pdb_kvs.Merging_iter.create ~compare:Ik.compare children in
+  let outputs = ref [] in
+  let builder = ref None in
+  (* partition token of the open builder: (attach_level, guard_index) *)
+  let builder_token = ref (-1, -1) in
+  let builder_cutoff = ref 0 in
+  let finish_builder () =
+    match !builder with
+    | None -> ()
+    | Some b ->
+      (match Table.Builder.finish b with
+       | Some meta ->
+         outputs := (fst !builder_token, meta) :: !outputs;
+         t.stats.Stats.sstables_built <- t.stats.Stats.sstables_built + 1
+       | None -> ());
+      builder := None
+  in
+  let get_builder token cutoff =
+    match !builder with
+    | Some b when !builder_token = token -> b
+    | Some _ | None ->
+      finish_builder ();
+      let b = make_builder t in
+      builder := Some b;
+      builder_token := token;
+      builder_cutoff := cutoff;
+      b
+  in
+  (* output is cut at committed AND pending boundaries, so pending guards
+     become committable at their next opportunity *)
+  let target_bounds = partition_boundaries t target_level in
+  let source_bounds =
+    if source_level >= 1 then partition_boundaries t source_level else [||]
+  in
+  (* previous entry seen for the current user key: (key, its seq) *)
+  let last_entry = ref None in
+  merged.Iter.seek_to_first ();
+  while merged.Iter.valid () do
+    let ikey = merged.Iter.key () in
+    let uk = Ik.user_key ikey in
+    let cur_seq = Ik.seq ikey in
+    Clock.advance t.clock t.opts.O.cpu_per_merge_entry_ns;
+    let drop =
+      match !last_entry with
+      | Some (prev, prev_seq) when String.equal prev uk ->
+        (* superseded version: droppable only when the newer version is
+           visible to every live snapshot *)
+        Pdb_kvs.Snapshots.droppable t.snapshots ~prev_seq:(Some prev_seq)
+          ~last_seq:t.last_seq
+      | _ ->
+        (* freshest version of this key.  A tombstone may die here only if
+           the target guard holds no older sstables — unlike an LSM
+           bottom-level compaction, a partition *append* leaves the guard's
+           resident tables unmerged, so dropping the tombstone would
+           resurrect older versions — and only when no snapshot still
+           needs it. *)
+        bottom
+        && Ik.kind ikey = Ik.Deletion
+        && target.Guard.guards.(Guard.guard_index target uk).Guard.tables = []
+        && Pdb_kvs.Snapshots.tombstone_droppable t.snapshots ~seq:cur_seq
+             ~last_seq:t.last_seq
+    in
+    last_entry := Some (uk, cur_seq);
+    if not drop then begin
+      let tgi = Guard.guard_index target uk in
+      let token, cutoff =
+        if Array.length redirect > tgi && redirect.(tgi) then
+          (* rewrite within the source level at source granularity *)
+          ((source_level, boundary_index source_bounds uk), big_cutoff)
+        else
+          (* a fragment is everything that falls into the guard — FLSM does
+             not re-cut fragments to a target size (PebblesDB's sstables
+             grow much larger than LevelDB's, Table 5.1) *)
+          ((target_level, boundary_index target_bounds uk), max_int)
+      in
+      let b = get_builder token cutoff in
+      Table.Builder.add b ikey (merged.Iter.value ());
+      if Table.Builder.estimated_size b >= !builder_cutoff then
+        finish_builder ()
+    end;
+    merged.Iter.next ()
+  done;
+  finish_builder ();
+  List.rev !outputs
+
+(* Sorted boundary keys of [level]: committed guards plus pending
+   (uncommitted) ones.  Compaction output is always cut at these
+   boundaries, so a pending guard never faces a straddling sstable for
+   long: the next merge through its range dissolves the straddler, after
+   which the guard commits for free. *)
+and partition_boundaries t level =
+  let lvl = t.levels.(level) in
+  let committed =
+    Array.to_list lvl.Guard.guards
+    |> List.filter_map (fun (g : Guard.guard) ->
+           if g.Guard.gkey = "" then None else Some g.Guard.gkey)
+  in
+  let pending = Hashtbl.fold (fun k () acc -> k :: acc) t.uncommitted.(level) [] in
+  Array.of_list (List.sort_uniq String.compare (committed @ pending))
+
+(* index of the boundary interval containing [key]: number of boundaries
+   <= key (0 = before the first boundary, i.e. the sentinel range) *)
+and boundary_index boundaries key =
+  let lo = ref 0 and hi = ref (Array.length boundaries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare boundaries.(mid) key <= 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+(* Commit the uncommitted guards of [level] that no resident sstable
+   straddles (the others stay pending and retry at the next compaction —
+   guard insertion is asynchronous, §3.3).  Returns the committed keys. *)
+and prepare_guard_commit t level =
+  let pending =
+    Hashtbl.fold (fun k () acc -> k :: acc) t.uncommitted.(level) []
+    |> List.sort String.compare
+  in
+  if pending = [] then []
+  else begin
+    let lvl = t.levels.(level) in
+    let tables = Guard.all_tables lvl in
+    let committable =
+      List.filter
+        (fun k -> not (List.exists (fun m -> Guard.straddles k m) tables))
+        pending
+    in
+    if committable <> [] then begin
+      Guard.commit_guards lvl committable;
+      List.iter
+        (fun k ->
+          Hashtbl.replace t.committed.(level) k ();
+          Hashtbl.remove t.uncommitted.(level) k)
+        committable;
+      t.stats.Stats.guards_committed <-
+        t.stats.Stats.guards_committed + List.length committable
+    end;
+    committable
+  end
+
+(* Commit whatever pending guards of [level] are now straddle-free and
+   persist them. *)
+and commit_pending_with_edit t level =
+  if Hashtbl.length t.uncommitted.(level) > 0 then begin
+    let new_keys = prepare_guard_commit t level in
+    if new_keys <> [] then begin
+      let e = Manifest.empty_edit () in
+      e.Manifest.added_guards <- List.map (fun k -> (level, k)) new_keys;
+      Manifest.append t.manifest e
+    end
+  end
+
+and retire_tables t inputs =
+  List.iter
+    (fun (m : Table.meta) ->
+      Pdb_sstable.Table_cache.evict t.table_cache m.Table.number;
+      t.obsolete <- Table.file_name ~dir:t.dir m.Table.number :: t.obsolete)
+    inputs
+
+and record_compaction_stats t ~inputs ~outputs =
+  let bytes_of =
+    List.fold_left (fun a (m : Table.meta) -> a + m.Table.file_size) 0
+  in
+  t.stats.Stats.compactions <- t.stats.Stats.compactions + 1;
+  t.stats.Stats.compaction_bytes_read <-
+    t.stats.Stats.compaction_bytes_read + bytes_of inputs;
+  t.stats.Stats.compaction_bytes_written <-
+    t.stats.Stats.compaction_bytes_written
+    + bytes_of (List.map snd outputs)
+
+(* Compact [source_level] into [source_level + 1].  [only_guards] restricts
+   the source guards (seek-triggered compaction); default picks guards over
+   the sstable trigger, falling back to all non-empty guards. *)
+and compact_level t ?only_guards source_level =
+  let target_level = source_level + 1 in
+  assert (target_level <= last_level t);
+  (* 1. source tables *)
+  let source_tables =
+    if source_level = 0 then t.l0
+    else begin
+      let lvl = t.levels.(source_level) in
+      let chosen =
+        match only_guards with
+        | Some gs -> gs
+        | None ->
+          let over =
+            Array.to_list lvl.Guard.guards
+            |> List.filter (fun g ->
+                   List.length g.Guard.tables >= t.opts.O.guard_sstable_trigger)
+          in
+          if over <> [] then over
+          else
+            Array.to_list lvl.Guard.guards
+            |> List.filter (fun g -> g.Guard.tables <> [])
+      in
+      List.concat_map (fun g -> g.Guard.tables) chosen
+    end
+  in
+  if source_tables <> [] then begin
+    (* 2. commit the straddle-free pending guards of the target level
+       (guard insertion is asynchronous, §3.3; straddled guards stay
+       pending until a merge through their range dissolves the straddler,
+       which the boundary-aware output cutting guarantees) *)
+    let new_keys = prepare_guard_commit t target_level in
+    let inputs = source_tables in
+    (* 3. detach inputs *)
+    if source_level = 0 then
+      t.l0 <-
+        List.filter
+          (fun (m : Table.meta) ->
+            not
+              (List.exists
+                 (fun (i : Table.meta) -> i.Table.number = m.Table.number)
+                 source_tables))
+          t.l0
+    else
+      Guard.detach t.levels.(source_level)
+        (List.map (fun (m : Table.meta) -> m.Table.number) source_tables);
+    (* 4. merge + partition + attach *)
+    let outputs =
+      Clock.with_background t.clock (fun () ->
+          run_partition_merge t ~inputs ~source_level ~target_level)
+    in
+    List.iter
+      (fun (attach_level, (meta : Table.meta)) ->
+        Pdb_kvs.Engine_stats.bump_breakdown t.stats
+          (if attach_level = target_level then
+             Printf.sprintf "partition L%d->L%d" source_level target_level
+           else Printf.sprintf "rewrite-in-L%d" attach_level)
+          meta.Table.file_size;
+        if attach_level = 0 then t.l0 <- meta :: t.l0
+        else Guard.attach t.levels.(attach_level) meta)
+      outputs;
+    (* 5. persist *)
+    let e = Manifest.empty_edit () in
+    e.Manifest.next_file_number <- Some t.next_file;
+    e.Manifest.added_guards <-
+      List.map (fun k -> (target_level, k)) new_keys;
+    e.Manifest.deleted_files <-
+      List.map
+        (fun (m : Table.meta) -> (source_level, m.Table.number))
+        source_tables;
+    e.Manifest.added_files <- outputs;
+    Manifest.append t.manifest e;
+    retire_tables t inputs;
+    record_compaction_stats t ~inputs ~outputs
+  end
+
+(* Merge sstables within one last-level guard — the only place FLSM
+   rewrites data at the bottom of the tree (§3.4).  To keep the rewrite
+   amortized (tiering), the merge normally coalesces only the newest run of
+   *small* fragments, leaving established large runs untouched; merging a
+   newest-prefix is recency-safe but must keep tombstones (older versions
+   may survive in the unmerged tail).  Only when the guard has degenerated
+   into few large runs does it fall back to a full rewrite, which is also
+   when tombstones can finally be dropped. *)
+and compact_last_level_guard ?(force_full = false) t (g : Guard.guard) =
+  if List.length g.Guard.tables >= 2 then begin
+    let all = g.Guard.tables in
+    let guard_bytes =
+      List.fold_left (fun a (m : Table.meta) -> a + m.Table.file_size) 0 all
+    in
+    let small_threshold = max (2 * t.opts.O.sstable_target_bytes)
+        (guard_bytes / 4) in
+    let rec newest_small_prefix = function
+      | (m : Table.meta) :: rest when m.Table.file_size < small_threshold ->
+        m :: newest_small_prefix rest
+      | _ -> []
+    in
+    let prefix = newest_small_prefix all in
+    let inputs, drop_tombstones =
+      if
+        (not force_full)
+        && List.length prefix >= 2
+        && List.length prefix < List.length all
+      then (prefix, false)
+      else (all, true)
+    in
+    let level_idx = last_level t in
+    let lvl = t.levels.(level_idx) in
+    (* detach only the inputs; any remaining (older, larger) runs stay *)
+    let input_numbers =
+      List.map (fun (m : Table.meta) -> m.Table.number) inputs
+    in
+    Guard.detach lvl input_numbers;
+    let outputs =
+      Clock.with_background t.clock (fun () ->
+          let scratch =
+            Pdb_sstable.Block_cache.create
+              ~capacity:(8 * t.opts.O.block_bytes)
+          in
+          let children =
+            List.map
+              (fun m ->
+                let reader =
+                  Table.open_reader ~hint:Device.Sequential_read t.env
+                    ~dir:t.dir m
+                in
+                Table.iterator reader ~cache:scratch
+                  ~hint:Device.Sequential_read)
+              inputs
+          in
+          let merged =
+            Pdb_kvs.Merging_iter.create ~compare:Ik.compare children
+          in
+          (* guard-merged tables grow large — the source of PebblesDB's
+             bigger sstables (Table 5.1).  The cutoff also guarantees the
+             merged run lands below the per-guard cap, so the merge cannot
+             re-trigger itself. *)
+          let total_bytes =
+            List.fold_left
+              (fun a (m : Table.meta) -> a + m.Table.file_size)
+              0 inputs
+          in
+          let cutoff =
+            max
+              (16 * t.opts.O.sstable_target_bytes)
+              ((total_bytes / max 1 (t.opts.O.max_sstables_per_guard - 1)) + 1)
+          in
+          let bounds = partition_boundaries t level_idx in
+          let outputs = ref [] in
+          let builder = ref None in
+          let builder_segment = ref (-1) in
+          let finish () =
+            match !builder with
+            | None -> ()
+            | Some b ->
+              (match Table.Builder.finish b with
+               | Some meta ->
+                 outputs := meta :: !outputs;
+                 t.stats.Stats.sstables_built <-
+                   t.stats.Stats.sstables_built + 1
+               | None -> ());
+              builder := None
+          in
+          let last_entry = ref None in
+          merged.Iter.seek_to_first ();
+          while merged.Iter.valid () do
+            let ikey = merged.Iter.key () in
+            let uk = Ik.user_key ikey in
+            let cur_seq = Ik.seq ikey in
+            Clock.advance t.clock t.opts.O.cpu_per_merge_entry_ns;
+            let drop =
+              (match !last_entry with
+               | Some (prev, prev_seq) when String.equal prev uk ->
+                 Pdb_kvs.Snapshots.droppable t.snapshots
+                   ~prev_seq:(Some prev_seq) ~last_seq:t.last_seq
+               | _ ->
+                 drop_tombstones
+                 && Ik.kind ikey = Ik.Deletion
+                 && Pdb_kvs.Snapshots.tombstone_droppable t.snapshots
+                      ~seq:cur_seq ~last_seq:t.last_seq)
+            in
+            last_entry := Some (uk, cur_seq);
+            if not drop then begin
+              (* cut at pending-guard boundaries too *)
+              let segment = boundary_index bounds uk in
+              if !builder_segment <> segment then begin
+                finish ();
+                builder_segment := segment
+              end;
+              let b =
+                match !builder with
+                | Some b -> b
+                | None ->
+                  let b = make_builder t in
+                  builder := Some b;
+                  b
+              in
+              Table.Builder.add b ikey (merged.Iter.value ());
+              if Table.Builder.estimated_size b >= cutoff then finish ()
+            end;
+            merged.Iter.next ()
+          done;
+          finish ();
+          List.rev !outputs)
+    in
+    List.iter
+      (fun (meta : Table.meta) ->
+        Pdb_kvs.Engine_stats.bump_breakdown t.stats
+          (if drop_tombstones then "guard-merge-full" else "guard-merge-tier")
+          meta.Table.file_size;
+        Guard.attach lvl meta)
+      outputs;
+    let e = Manifest.empty_edit () in
+    e.Manifest.next_file_number <- Some t.next_file;
+    e.Manifest.deleted_files <-
+      List.map (fun (m : Table.meta) -> (level_idx, m.Table.number)) inputs;
+    e.Manifest.added_files <- List.map (fun m -> (level_idx, m)) outputs;
+    Manifest.append t.manifest e;
+    retire_tables t inputs;
+    record_compaction_stats t ~inputs
+      ~outputs:(List.map (fun m -> (level_idx, m)) outputs)
+  end
+
+and maybe_compact t =
+  (* Commit pending guards of still-empty levels up front: with no resident
+     sstables there is nothing to split, so the commit is pure metadata.
+     This is the cheap common case — guards are selected long before data
+     reaches deep levels. *)
+  let eager = ref [] in
+  for level = 1 to last_level t do
+    if
+      Guard.table_count t.levels.(level) = 0
+      && Hashtbl.length t.uncommitted.(level) > 0
+    then begin
+      let new_keys = prepare_guard_commit t level in
+      eager := List.map (fun k -> (level, k)) new_keys @ !eager
+    end
+  done;
+  if !eager <> [] then begin
+    let e = Manifest.empty_edit () in
+    e.Manifest.added_guards <- !eager;
+    Manifest.append t.manifest e
+  end;
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* L0 back-pressure *)
+    if List.length t.l0 >= t.opts.O.l0_compaction_trigger then begin
+      compact_level t 0;
+      progress := true
+    end;
+    (* level size triggers — progress only when the level actually shrank
+       (25x-redirected rewrites can leave the size unchanged) *)
+    for level = 1 to last_level t - 1 do
+      if level_bytes t level > O.level_max_bytes t.opts level then begin
+        let before = level_bytes t level in
+        compact_level t level;
+        if level_bytes t level < before then progress := true
+      end
+    done;
+    (* per-guard caps *)
+    for level = 1 to last_level t - 1 do
+      let lvl = t.levels.(level) in
+      let count_full () =
+        Array.fold_left
+          (fun acc (g : Guard.guard) ->
+            if List.length g.Guard.tables >= t.opts.O.max_sstables_per_guard
+            then acc + 1
+            else acc)
+          0 lvl.Guard.guards
+      in
+      let full =
+        Array.to_list lvl.Guard.guards
+        |> List.filter (fun g ->
+               List.length g.Guard.tables >= t.opts.O.max_sstables_per_guard)
+      in
+      if full <> [] then begin
+        let before = count_full () in
+        compact_level t ~only_guards:full level;
+        if count_full () < before then progress := true
+      end
+    done;
+    (* last-level guard merges; committing pending guards first refines the
+       structure (boundary-cut fragments redistribute into their own
+       guards) and often removes the need to merge at all *)
+    commit_pending_with_edit t (last_level t);
+    let lvl = t.levels.(last_level t) in
+    Array.iter
+      (fun (g : Guard.guard) ->
+        if
+          List.length g.Guard.tables
+          >= max 2 t.opts.O.max_sstables_per_guard
+        then begin
+          let before = List.length g.Guard.tables in
+          compact_last_level_guard t g;
+          if List.length g.Guard.tables >= before then
+            (* the tiered merge could not shrink the guard (an old run
+               straddles a pending boundary): rewrite the whole guard,
+               which dissolves every straddler *)
+            compact_last_level_guard ~force_full:true t g;
+          if List.length g.Guard.tables < before then progress := true
+        end)
+      lvl.Guard.guards
+  done
+
+(* Seek-triggered maintenance (§4.2): compact the most fragmented guard and
+   apply the aggressive level rule. *)
+and seek_compaction t =
+  t.stats.Stats.seek_compactions <- t.stats.Stats.seek_compactions + 1;
+  (* most fragmented guard across levels 1 .. last-1 *)
+  let best = ref None in
+  for level = 1 to last_level t - 1 do
+    Array.iter
+      (fun g ->
+        let n = List.length g.Guard.tables in
+        if n >= 2 then
+          match !best with
+          | Some (_, _, bn) when bn >= n -> ()
+          | _ -> best := Some (level, g, n))
+      t.levels.(level).Guard.guards
+  done;
+  (match !best with
+   | Some (level, g, _) -> compact_level t ~only_guards:[ g ] level
+   | None -> ());
+  (* fragmented last-level guards merge in place *)
+  commit_pending_with_edit t (last_level t);
+  let lvl = t.levels.(last_level t) in
+  let worst = ref None in
+  Array.iter
+    (fun g ->
+      let n = List.length g.Guard.tables in
+      if n >= 2 then
+        match !worst with
+        | Some (_, bn) when bn >= n -> ()
+        | _ -> worst := Some (g, n))
+    lvl.Guard.guards;
+  (match !worst with
+   | Some (g, _) -> compact_last_level_guard t g
+   | None -> ());
+  (* aggressive level rule: level i within 25% of level i+1 *)
+  let continue = ref true in
+  for level = 1 to last_level t - 1 do
+    if !continue then begin
+      let here = level_bytes t level and below = level_bytes t (level + 1) in
+      if
+        here > 0 && below > 0
+        && float_of_int here >= t.opts.O.aggressive_level_ratio *. float_of_int below
+      then begin
+        compact_level t level;
+        continue := false
+      end
+    end
+  done
+
+(* ---------- open / close ---------- *)
+
+let apply_edit ~l0 ~levels ~committed ~wal_number ~next_file ~last_seq
+    (e : Manifest.edit) =
+  (match e.Manifest.log_number with Some n -> wal_number := n | None -> ());
+  (match e.Manifest.next_file_number with
+   | Some n -> next_file := max !next_file n
+   | None -> ());
+  (match e.Manifest.last_sequence with
+   | Some n -> last_seq := max !last_seq n
+   | None -> ());
+  (* order matters: deletions, guard removals, guard additions, file adds *)
+  List.iter
+    (fun (level, number) ->
+      if level = 0 then
+        l0 :=
+          List.filter (fun (m : Table.meta) -> m.Table.number <> number) !l0
+      else Guard.detach levels.(level) [ number ])
+    e.Manifest.deleted_files;
+  List.iter
+    (fun (level, key) ->
+      Guard.delete_guard levels.(level) key;
+      Hashtbl.remove committed.(level) key)
+    e.Manifest.deleted_guards;
+  List.iter
+    (fun (level, key) ->
+      Guard.commit_guards levels.(level) [ key ];
+      Hashtbl.replace committed.(level) key ())
+    e.Manifest.added_guards;
+  List.iter
+    (fun (level, meta) ->
+      if level = 0 then l0 := meta :: !l0
+      else Guard.attach levels.(level) meta)
+    e.Manifest.added_files
+
+let snapshot_edit t =
+  let e = Manifest.empty_edit () in
+  e.Manifest.log_number <- Some t.wal_number;
+  e.Manifest.next_file_number <- Some t.next_file;
+  e.Manifest.last_sequence <- Some t.last_seq;
+  e.Manifest.added_guards <-
+    List.concat
+      (List.init (last_level t) (fun i ->
+           let level = i + 1 in
+           Array.to_list t.levels.(level).Guard.guards
+           |> List.filter_map (fun g ->
+                  if g.Guard.gkey = "" then None
+                  else Some (level, g.Guard.gkey))));
+  e.Manifest.added_files <-
+    List.map (fun m -> (0, m)) (List.rev t.l0)
+    @ List.concat
+        (List.init (last_level t) (fun i ->
+             let level = i + 1 in
+             (* oldest-first so recovery prepends back to newest-first *)
+             Array.to_list t.levels.(level).Guard.guards
+             |> List.concat_map (fun g ->
+                    List.rev_map (fun m -> (level, m)) g.Guard.tables)));
+  e
+
+let open_store (opts : O.t) ~env ~dir =
+  let levels = Array.init opts.O.max_levels (fun _ -> Guard.create_level ()) in
+  let committed = Array.init opts.O.max_levels (fun _ -> Hashtbl.create 64) in
+  let l0 = ref [] in
+  let wal_number = ref 0 and next_file = ref 1 and last_seq = ref 0 in
+  let mem = Pdb_kvs.Memtable.create () in
+  (match Manifest.recover env ~dir with
+   | Some (_, edits) ->
+     List.iter
+       (apply_edit ~l0 ~levels ~committed ~wal_number ~next_file ~last_seq)
+       edits;
+     (* L0 newest-first (descending file number) *)
+     l0 :=
+       List.sort
+         (fun (a : Table.meta) (b : Table.meta) ->
+           Int.compare b.Table.number a.Table.number)
+         !l0;
+     (* replay WAL into the memtable *)
+     let name = log_name dir !wal_number in
+     if Env.exists env name then begin
+       let records = Wal.Reader.read_all env name in
+       List.iter
+         (fun record ->
+           match Pdb_kvs.Write_batch.decode record with
+           | exception Invalid_argument _ -> ()
+           | batch, base_seq ->
+             let seq = ref base_seq in
+             Pdb_kvs.Write_batch.iter batch (fun op ->
+                 (match op with
+                  | Pdb_kvs.Write_batch.Put (k, v) ->
+                    Pdb_kvs.Memtable.add mem ~seq:!seq ~kind:Ik.Value
+                      ~user_key:k ~value:v
+                  | Pdb_kvs.Write_batch.Delete k ->
+                    Pdb_kvs.Memtable.add mem ~seq:!seq ~kind:Ik.Deletion
+                      ~user_key:k ~value:"");
+                 incr seq);
+             last_seq := max !last_seq (!seq - 1))
+         records;
+       Env.delete env name
+     end
+   | None -> ());
+  let new_log = !next_file in
+  incr next_file;
+  let manifest_number = !next_file in
+  incr next_file;
+  let wal = Wal.Writer.create env (log_name dir new_log) in
+  let t =
+    {
+      opts;
+      env;
+      dir;
+      clock = Env.clock env;
+      stats = Stats.create ();
+      table_cache =
+        Pdb_sstable.Table_cache.create env ~dir
+          ~entries:opts.O.table_cache_entries;
+      block_cache =
+        Pdb_sstable.Block_cache.create ~capacity:opts.O.block_cache_bytes;
+      mem;
+      wal;
+      wal_number = new_log;
+      manifest = Manifest.create env ~dir ~number:manifest_number ~edits:[];
+      next_file = !next_file;
+      last_seq = !last_seq;
+      l0 = !l0;
+      levels;
+      committed;
+      uncommitted = Array.init opts.O.max_levels (fun _ -> Hashtbl.create 64);
+      consecutive_seeks = 0;
+      obsolete = [];
+      snapshots = Pdb_kvs.Snapshots.create ();
+      closed = false;
+    }
+  in
+  (* Re-derive pending guard selections: a guard committed at level i is by
+     construction selected at every deeper level; deeper levels that have
+     not committed it yet must carry it as uncommitted again. *)
+  for level = 1 to last_level t - 1 do
+    Hashtbl.iter
+      (fun k () ->
+        for deeper = level + 1 to last_level t do
+          if not (Hashtbl.mem t.committed.(deeper) k) then
+            Hashtbl.replace t.uncommitted.(deeper) k ()
+        done)
+      t.committed.(level)
+  done;
+  Manifest.append t.manifest (snapshot_edit t);
+  if Pdb_kvs.Memtable.approximate_bytes t.mem >= t.opts.O.memtable_bytes then
+    flush_memtable t;
+  t
+
+let close t =
+  t.closed <- true;
+  gc_obsolete t;
+  Wal.Writer.close t.wal
+
+let options t = t.opts
+let env t = t.env
+let stats t = t.stats
+
+(* ---------- writes ---------- *)
+
+let write t batch =
+  assert (not t.closed);
+  gc_obsolete t;
+  t.consecutive_seeks <- 0;
+  let count = Pdb_kvs.Write_batch.count batch in
+  if count > 0 then begin
+    if List.length t.l0 >= t.opts.O.l0_slowdown then begin
+      Clock.stall t.clock (t.opts.O.slowdown_stall_ns *. float_of_int count);
+      t.stats.Stats.write_stalls <- t.stats.Stats.write_stalls + count
+    end;
+    charge_cpu t
+      ((t.opts.O.op_overhead_write_ns +. t.opts.O.cpu_per_op_ns)
+       *. float_of_int count);
+    let base_seq = t.last_seq + 1 in
+    t.last_seq <- t.last_seq + count;
+    Wal.Writer.add_record t.wal (Pdb_kvs.Write_batch.encode batch ~base_seq);
+    if t.opts.O.wal_sync_writes then Wal.Writer.sync t.wal;
+    let seq = ref base_seq in
+    Pdb_kvs.Write_batch.iter batch (fun op ->
+        charge_cpu t t.opts.O.cpu_memtable_op_ns;
+        (match op with
+         | Pdb_kvs.Write_batch.Put (k, v) ->
+           note_guard_candidate t k;
+           Pdb_kvs.Memtable.add t.mem ~seq:!seq ~kind:Ik.Value ~user_key:k
+             ~value:v
+         | Pdb_kvs.Write_batch.Delete k ->
+           Pdb_kvs.Memtable.add t.mem ~seq:!seq ~kind:Ik.Deletion ~user_key:k
+             ~value:"");
+        incr seq);
+    t.stats.Stats.user_bytes_written <-
+      t.stats.Stats.user_bytes_written
+      + Pdb_kvs.Write_batch.payload_bytes batch;
+    if Pdb_kvs.Memtable.approximate_bytes t.mem >= t.opts.O.memtable_bytes
+    then flush_memtable t
+  end
+
+let put t k v =
+  t.stats.Stats.puts <- t.stats.Stats.puts + 1;
+  let b = Pdb_kvs.Write_batch.create () in
+  Pdb_kvs.Write_batch.put b k v;
+  write t b
+
+let delete t k =
+  t.stats.Stats.deletes <- t.stats.Stats.deletes + 1;
+  let b = Pdb_kvs.Write_batch.create () in
+  Pdb_kvs.Write_batch.delete b k;
+  write t b
+
+let flush t = flush_memtable t
+
+(* ---------- snapshots ---------- *)
+
+(** [snapshot t] pins the current state; reads and iterators through the
+    returned sequence number see exactly the versions visible now.
+    Compaction keeps whatever pinned snapshots still need; superseded files
+    stay on storage until the last snapshot is released. *)
+let snapshot t =
+  Pdb_kvs.Snapshots.acquire t.snapshots t.last_seq;
+  t.last_seq
+
+(** [release_snapshot t s] unpins [s] (idempotence is the caller's
+    responsibility: release exactly once per acquire). *)
+let release_snapshot t s = Pdb_kvs.Snapshots.release t.snapshots s
+
+(* ---------- reads (§3.4 Get, §4.1) ---------- *)
+
+let table_lookup ?snapshot t (meta : Table.meta) key =
+  charge_cpu t t.opts.O.cpu_per_sstable_ns;
+  t.stats.Stats.sstables_examined <- t.stats.Stats.sstables_examined + 1;
+  let reader = Pdb_sstable.Table_cache.find t.table_cache meta in
+  let pass_bloom =
+    if Table.has_filter reader then begin
+      charge_cpu t t.opts.O.cpu_bloom_check_ns;
+      t.stats.Stats.bloom_checks <- t.stats.Stats.bloom_checks + 1;
+      let pass = Table.may_contain reader key in
+      if not pass then
+        t.stats.Stats.bloom_negative <- t.stats.Stats.bloom_negative + 1;
+      pass
+    end
+    else true
+  in
+  if not pass_bloom then None
+  else begin
+    charge_cpu t t.opts.O.cpu_per_block_search_ns;
+    let lookup =
+      match snapshot with
+      | Some seq -> Ik.lookup_at ~user_key:key ~seq
+      | None -> Ik.max_for_lookup key
+    in
+    match
+      Table.get reader ~cache:t.block_cache ~hint:Device.Random_read lookup
+    with
+    | Some (ikey, value) when String.equal (Ik.user_key ikey) key ->
+      Some (Ik.kind ikey, value)
+    | Some _ | None -> None
+  end
+
+let get ?snapshot t key =
+  assert (not t.closed);
+  t.stats.Stats.gets <- t.stats.Stats.gets + 1;
+  charge_cpu t (t.opts.O.op_overhead_read_ns +. t.opts.O.cpu_per_op_ns);
+  let mem_result =
+    match snapshot with
+    | Some seq -> Pdb_kvs.Memtable.get_at t.mem key ~seq
+    | None -> Pdb_kvs.Memtable.get t.mem key
+  in
+  match mem_result with
+  | Some (Some v) -> Some v
+  | Some None -> None
+  | None ->
+    let result = ref `NotFound in
+    (* L0: newest first *)
+    List.iter
+      (fun (m : Table.meta) ->
+        if !result = `NotFound && user_range_overlap m key then
+          match table_lookup ?snapshot t m key with
+          | Some (Ik.Value, v) -> result := `Found v
+          | Some (Ik.Deletion, _) -> result := `Deleted
+          | None -> ())
+      t.l0;
+    (* one guard per deeper level; tables newest first *)
+    let level = ref 1 in
+    while !result = `NotFound && !level <= last_level t do
+      let lvl = t.levels.(!level) in
+      charge_cpu t t.opts.O.cpu_per_block_search_ns (* guard binary search *);
+      let gi = Guard.guard_index lvl key in
+      List.iter
+        (fun (m : Table.meta) ->
+          if !result = `NotFound && user_range_overlap m key then
+            match table_lookup ?snapshot t m key with
+            | Some (Ik.Value, v) -> result := `Found v
+            | Some (Ik.Deletion, _) -> result := `Deleted
+            | None -> ())
+        lvl.Guard.guards.(gi).Guard.tables;
+      incr level
+    done;
+    (match !result with `Found v -> Some v | `Deleted | `NotFound -> None)
+
+(* ---------- iterators (§3.4 Range Queries, §4.2) ---------- *)
+
+let internal_iterator t =
+  let on_table () =
+    charge_cpu t t.opts.O.cpu_per_sstable_ns;
+    t.stats.Stats.sstables_examined <- t.stats.Stats.sstables_examined + 1
+  in
+  let l0_iters =
+    List.map
+      (fun m ->
+        let reader = Pdb_sstable.Table_cache.find t.table_cache m in
+        let it =
+          Table.iterator reader ~cache:t.block_cache ~hint:Device.Random_read
+        in
+        {
+          it with
+          Iter.seek =
+            (fun k ->
+              on_table ();
+              it.Iter.seek k);
+          seek_to_first =
+            (fun () ->
+              on_table ();
+              it.Iter.seek_to_first ());
+        })
+      t.l0
+  in
+  (* the deepest level actually holding data: parallel seeks target it
+     because its data "is not recent, and therefore not likely to be
+     cached" (§4.2) *)
+  let deepest_populated =
+    let rec find level =
+      if level <= 1 then 1
+      else if Guard.table_count t.levels.(level) > 0 then level
+      else find (level - 1)
+    in
+    find (last_level t)
+  in
+  let level_iters =
+    List.init (last_level t) (fun i ->
+        let level = i + 1 in
+        let parallel =
+          if t.opts.O.parallel_seeks && level = deepest_populated then
+            Some t.clock
+          else None
+        in
+        Flsm_level_iter.create ~level:t.levels.(level) ~cache:t.table_cache
+          ~block_cache:t.block_cache ~hint:Device.Random_read ~on_table
+          ~parallel ())
+  in
+  Pdb_kvs.Merging_iter.create ~compare:Ik.compare
+    ((Pdb_kvs.Memtable.iterator t.mem :: l0_iters) @ level_iters)
+
+let note_seek t =
+  t.stats.Stats.seeks <- t.stats.Stats.seeks + 1;
+  charge_cpu t (t.opts.O.op_overhead_read_ns +. t.opts.O.cpu_per_op_ns);
+  if t.opts.O.seek_based_compaction then begin
+    t.consecutive_seeks <- t.consecutive_seeks + 1;
+    if t.consecutive_seeks >= t.opts.O.seek_compaction_threshold then begin
+      t.consecutive_seeks <- 0;
+      seek_compaction t
+    end
+  end
+
+let iterator ?snapshot t =
+  assert (not t.closed);
+  gc_obsolete t;
+  let db = Pdb_kvs.Db_iter.wrap ?snapshot (internal_iterator t) in
+  {
+    db with
+    Iter.seek =
+      (fun k ->
+        note_seek t;
+        db.Iter.seek k);
+    seek_to_first =
+      (fun () ->
+        note_seek t;
+        db.Iter.seek_to_first ());
+    next =
+      (fun () ->
+        t.stats.Stats.nexts <- t.stats.Stats.nexts + 1;
+        charge_cpu t t.opts.O.cpu_per_op_ns;
+        db.Iter.next ());
+  }
+
+(* ---------- maintenance ---------- *)
+
+(* Drive pending work to quiescence.  Note this deliberately does NOT force
+   everything into one level: PebblesDB "does not compact as aggressively
+   as other key-value stores as it seeks to minimize write IO" (§5.2), so
+   its fully-compacted state still has multiple sstables per guard. *)
+let compact_all t =
+  flush_memtable t;
+  if t.l0 <> [] then compact_level t 0;
+  maybe_compact t;
+  gc_obsolete t
+
+(* PebblesDB keeps every sstable's bloom filter (and effectively its index)
+   resident in memory — the memory overhead Table 5.4 quantifies and §7
+   proposes to optimise.  The LSM baselines construct filters lazily on
+   first access, so their footprint is the table cache's residents. *)
+let memory_bytes t =
+  let guard_meta =
+    let sum = ref 0 in
+    for level = 1 to last_level t do
+      sum := !sum + Guard.metadata_bytes t.levels.(level)
+    done;
+    !sum
+  in
+  let filters_and_indexes =
+    let per_file (m : Table.meta) =
+      (m.Table.entries * t.opts.O.bloom_bits_per_key / 8)
+      + (((m.Table.file_size / t.opts.O.block_bytes) + 1) * 24)
+    in
+    let sum = ref 0 in
+    List.iter (fun m -> sum := !sum + per_file m) t.l0;
+    for level = 1 to last_level t do
+      List.iter
+        (fun m -> sum := !sum + per_file m)
+        (Guard.all_tables t.levels.(level))
+    done;
+    !sum
+  in
+  Pdb_kvs.Memtable.approximate_bytes t.mem
+  + Pdb_sstable.Block_cache.used t.block_cache
+  + filters_and_indexes + guard_meta
+
+let refresh_empty_guard_stat t =
+  let n = ref 0 in
+  for level = 1 to last_level t do
+    n := !n + Guard.empty_guard_count t.levels.(level)
+  done;
+  t.stats.Stats.guards_empty <- !n
+
+let describe t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "pebblesdb store (%s)\n" t.opts.O.name);
+  Buffer.add_string buf
+    (Printf.sprintf "  level 0 (no guards): %d sstables\n" (List.length t.l0));
+  List.iter
+    (fun (m : Table.meta) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    #%d [%s .. %s] %dB\n" m.Table.number
+           (Ik.user_key m.Table.smallest)
+           (Ik.user_key m.Table.largest)
+           m.Table.file_size))
+    t.l0;
+  for level = 1 to last_level t do
+    let lvl = t.levels.(level) in
+    if Guard.table_count lvl > 0 || Guard.guard_count lvl > 0 then begin
+      Buffer.add_string buf
+        (Printf.sprintf "  level %d (%d guards, %d sstables, %dB):\n" level
+           (Guard.guard_count lvl) (Guard.table_count lvl) (Guard.bytes lvl));
+      Array.iter
+        (fun (g : Guard.guard) ->
+          if g.Guard.tables <> [] then begin
+            Buffer.add_string buf
+              (Printf.sprintf "    guard %s:\n"
+                 (if g.Guard.gkey = "" then "<sentinel>" else g.Guard.gkey));
+            List.iter
+              (fun (m : Table.meta) ->
+                Buffer.add_string buf
+                  (Printf.sprintf "      #%d [%s .. %s] %dB\n" m.Table.number
+                     (Ik.user_key m.Table.smallest)
+                     (Ik.user_key m.Table.largest)
+                     m.Table.file_size))
+              g.Guard.tables
+          end)
+        lvl.Guard.guards
+    end
+  done;
+  Buffer.contents buf
+
+let check_invariants t =
+  (* L0 newest-first *)
+  let rec check_l0 = function
+    | (a : Table.meta) :: (b : Table.meta) :: rest ->
+      if a.Table.number <= b.Table.number then
+        failwith "flsm invariant: L0 not newest-first";
+      check_l0 (b :: rest)
+    | [ _ ] | [] -> ()
+  in
+  check_l0 t.l0;
+  for level = 1 to last_level t do
+    let lvl = t.levels.(level) in
+    let g = lvl.Guard.guards in
+    if Array.length g = 0 || g.(0).Guard.gkey <> "" then
+      failwith "flsm invariant: missing sentinel guard";
+    (* strictly ascending guard keys *)
+    for i = 1 to Array.length g - 2 do
+      if String.compare g.(i).Guard.gkey g.(i + 1).Guard.gkey >= 0 then
+        failwith "flsm invariant: guard keys not ascending"
+    done;
+    (* skip-list property: a guard committed here is at least *selected*
+       (committed or uncommitted) at every deeper level — deeper levels
+       commit lazily, at their own next compaction (§3.3) *)
+    if level < last_level t then
+      Array.iter
+        (fun (gu : Guard.guard) ->
+          if
+            gu.Guard.gkey <> ""
+            && (not (Hashtbl.mem t.committed.(level + 1) gu.Guard.gkey))
+            && not (Hashtbl.mem t.uncommitted.(level + 1) gu.Guard.gkey)
+          then failwith "flsm invariant: guard not selected in deeper level")
+        g;
+    (* every table fits inside its guard; files exist *)
+    Array.iteri
+      (fun i (gu : Guard.guard) ->
+        List.iter
+          (fun (m : Table.meta) ->
+            if not (Guard.table_fits lvl i m) then
+              failwith
+                (Printf.sprintf
+                   "flsm invariant: table #%d straddles guard at level %d"
+                   m.Table.number level);
+            if
+              not (Env.exists t.env (Table.file_name ~dir:t.dir m.Table.number))
+            then failwith "flsm invariant: missing sstable file")
+          gu.Guard.tables)
+      g;
+    (* committed set matches structure *)
+    Array.iter
+      (fun (gu : Guard.guard) ->
+        if gu.Guard.gkey <> "" && not (Hashtbl.mem t.committed.(level) gu.Guard.gkey)
+        then failwith "flsm invariant: structure guard missing from committed set")
+      g;
+    (* no guard both committed and uncommitted *)
+    Hashtbl.iter
+      (fun k () ->
+        if Hashtbl.mem t.committed.(level) k then
+          failwith "flsm invariant: guard both committed and uncommitted")
+      t.uncommitted.(level)
+  done
+
+(* ---------- guard deletion (§3.3, §7) ---------- *)
+
+(** [delete_empty_guards t] removes every guard that is empty at *every*
+    level where it is committed, folding its (empty) range into the
+    predecessor guard and persisting the deletions — the metadata cleanup
+    the paper describes as asynchronous guard deletion (§3.3) and lists as
+    future work for its own implementation (§4.4, §7).  Returns the number
+    of guard keys removed.
+
+    Deleting a guard at level [i] requires deleting it at every level
+    < [i] (the skip-list property); removing only globally-empty guards
+    satisfies this trivially. *)
+let delete_empty_guards t =
+  (* a guard key is removable iff every level where it is committed holds
+     no sstables under it *)
+  let removable = Hashtbl.create 16 in
+  for level = 1 to last_level t do
+    Array.iter
+      (fun (g : Guard.guard) ->
+        if g.Guard.gkey <> "" then
+          match Hashtbl.find_opt removable g.Guard.gkey with
+          | Some false -> ()
+          | _ -> Hashtbl.replace removable g.Guard.gkey (g.Guard.tables = []))
+      t.levels.(level).Guard.guards
+  done;
+  let doomed =
+    Hashtbl.fold (fun k ok acc -> if ok then k :: acc else acc) removable []
+  in
+  if doomed <> [] then begin
+    let edit_entries = ref [] in
+    List.iter
+      (fun key ->
+        for level = 1 to last_level t do
+          if Hashtbl.mem t.committed.(level) key then begin
+            Guard.delete_guard t.levels.(level) key;
+            Hashtbl.remove t.committed.(level) key;
+            edit_entries := (level, key) :: !edit_entries
+          end;
+          (* forget any pending selection so the guard is not immediately
+             re-committed *)
+          Hashtbl.remove t.uncommitted.(level) key
+        done)
+      doomed;
+    let e = Manifest.empty_edit () in
+    e.Manifest.deleted_guards <- List.rev !edit_entries;
+    Manifest.append t.manifest e
+  end;
+  List.length doomed
+
+(* exposed for tests and experiments *)
+let l0_table_count t = List.length t.l0
+
+let guard_counts t =
+  Array.init t.opts.O.max_levels (fun level ->
+      if level = 0 then 0 else Guard.guard_count t.levels.(level))
+
+let empty_guard_count t =
+  refresh_empty_guard_stat t;
+  t.stats.Stats.guards_empty
+
+let sstable_metas t =
+  t.l0
+  @ List.concat
+      (List.init (last_level t) (fun i -> Guard.all_tables t.levels.(i + 1)))
+
+let level_sizes t =
+  Array.init t.opts.O.max_levels (fun level ->
+      if level = 0 then
+        List.fold_left (fun a (m : Table.meta) -> a + m.Table.file_size) 0 t.l0
+      else Guard.bytes t.levels.(level))
+
+let max_tables_in_any_guard t =
+  let worst = ref 0 in
+  for level = 1 to last_level t do
+    Array.iter
+      (fun (g : Guard.guard) ->
+        worst := max !worst (List.length g.Guard.tables))
+      t.levels.(level).Guard.guards
+  done;
+  !worst

@@ -1,0 +1,106 @@
+(** PebblesDB: a key-value store built over Fragmented Log-Structured Merge
+    trees (chapters 3 and 4 of the paper).
+
+    The engine keeps the LevelDB-family shape — memtable + WAL in front of
+    a hierarchy of sstable levels recovered through a MANIFEST — but
+    replaces the per-level disjointness invariant with guards: compaction
+    {e appends} partitioned fragments to the next level's guards instead of
+    rewriting the level, which is what removes write amplification (§3.4).
+    Per-sstable bloom filters (§4.1), seek-triggered compaction and
+    parallel seeks (§4.2) recover read and range-query performance.
+
+    This module satisfies {!Pdb_kvs.Store_intf.S} (modulo the optional
+    [?snapshot] parameters, fixed by the harness adapter). *)
+
+type t
+
+(** {1 Lifecycle} *)
+
+(** [open_store options ~env ~dir] opens (creating or recovering) a store
+    rooted at simulated directory prefix [dir].  Recovery replays the
+    MANIFEST's version edits — including guard metadata (§4.3.1) — then
+    the WAL. *)
+val open_store : Pdb_kvs.Options.t -> env:Pdb_simio.Env.t -> dir:string -> t
+
+(** [close t] releases the store.  Unsynced WAL data remains volatile, as
+    in the real system. *)
+val close : t -> unit
+
+val options : t -> Pdb_kvs.Options.t
+val env : t -> Pdb_simio.Env.t
+val stats : t -> Pdb_kvs.Engine_stats.t
+
+(** {1 Writes (§2.1, §3.4)} *)
+
+val put : t -> string -> string -> unit
+val delete : t -> string -> unit
+
+(** [write t batch] applies a batch atomically (one WAL record). *)
+val write : t -> Pdb_kvs.Write_batch.t -> unit
+
+(** [flush t] persists the active memtable as a level-0 sstable and runs
+    any compaction it triggers. *)
+val flush : t -> unit
+
+(** {1 Reads (§3.4, §4.1)} *)
+
+(** [get ?snapshot t key] is the latest value visible (at [snapshot] if
+    given): one guard per level is consulted, with bloom filters skipping
+    almost all of the guard's sstables. *)
+val get : ?snapshot:int -> t -> string -> string option
+
+(** [iterator ?snapshot t] is a database iterator over live user keys.
+    Iterators are invalidated by writes (no pinning); seeks feed the
+    seek-triggered compaction heuristic (§4.2). *)
+val iterator : ?snapshot:int -> t -> Pdb_kvs.Iter.t
+
+(** {1 Snapshots} *)
+
+(** [snapshot t] pins the current state; reads and iterators through the
+    returned sequence number see exactly the versions visible now.
+    Compaction keeps whatever pinned snapshots still need; superseded
+    files stay on storage until the last snapshot is released. *)
+val snapshot : t -> int
+
+(** [release_snapshot t s] unpins [s] (release exactly once per acquire). *)
+val release_snapshot : t -> int -> unit
+
+(** {1 Maintenance} *)
+
+(** [compact_all t] drives pending compaction to quiescence.  Deliberately
+    does not force everything into one level: PebblesDB "does not compact
+    as aggressively as other key-value stores as it seeks to minimize
+    write IO" (§5.2). *)
+val compact_all : t -> unit
+
+(** [delete_empty_guards t] removes every guard that is empty at every
+    level where it is committed (§3.3, §7), persisting the deletions;
+    returns the number of guard keys removed. *)
+val delete_empty_guards : t -> int
+
+(** {1 Introspection} *)
+
+(** Modeled resident memory: memtable + block cache + all sstable filters
+    and indexes + guard metadata (Table 5.4). *)
+val memory_bytes : t -> int
+
+(** Render the on-storage shape — levels, guards, sstables (Figure 3.1). *)
+val describe : t -> string
+
+(** Raise [Failure] on any violated structural invariant (guard ordering,
+    no straddlers, skip-list guard property, committed-set consistency,
+    file existence). *)
+val check_invariants : t -> unit
+
+val l0_table_count : t -> int
+
+(** Committed guards per level (index 0 unused). *)
+val guard_counts : t -> int array
+
+val empty_guard_count : t -> int
+val sstable_metas : t -> Pdb_sstable.Table.meta list
+
+(** Resident bytes per level (level 0 first). *)
+val level_sizes : t -> int array
+
+val max_tables_in_any_guard : t -> int

@@ -1,0 +1,1 @@
+lib/harness/bench_util.ml: Array Fun List Pdb_kvs Pdb_simio Pdb_util Printf String

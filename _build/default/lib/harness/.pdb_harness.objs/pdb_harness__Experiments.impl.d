@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Bench_util Filename Fun List Pdb_apps Pdb_bloom Pdb_kvs Pdb_simio Pdb_util Pdb_ycsb Pebblesdb Printf Stores String Unix

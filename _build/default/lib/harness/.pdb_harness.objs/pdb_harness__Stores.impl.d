@@ -1,0 +1,1 @@
+lib/harness/stores.ml: Fun Pdb_btree Pdb_kvs Pdb_lsm Pdb_simio Pebblesdb

@@ -1,0 +1,152 @@
+(** Measurement and reporting helpers shared by the benchmark harness and
+    the repro CLI. *)
+
+module Dyn = Pdb_kvs.Store_intf
+module Clock = Pdb_simio.Clock
+module Env = Pdb_simio.Env
+module Iter = Pdb_kvs.Iter
+
+type phase = {
+  ops : int;
+  elapsed_ns : float;
+  kops : float;
+  bytes_written : int;
+  bytes_read : int;
+}
+
+(** [measure store ops f] runs [f ()] and reports modeled throughput and IO
+    for the phase. *)
+let measure (store : Dyn.dyn) ops f =
+  let clock = Env.clock store.Dyn.d_env in
+  let io0 = Pdb_simio.Io_stats.snapshot (Env.stats store.Dyn.d_env) in
+  let c0 = Clock.snapshot clock in
+  f ();
+  let c1 = Clock.snapshot clock in
+  let io1 = Pdb_simio.Io_stats.snapshot (Env.stats store.Dyn.d_env) in
+  let delta = Clock.diff c1 c0 in
+  let elapsed =
+    Clock.elapsed_ns delta
+      ~threads:store.Dyn.d_options.Pdb_kvs.Options.compaction_threads
+  in
+  let io = Pdb_simio.Io_stats.diff io1 io0 in
+  {
+    ops;
+    elapsed_ns = elapsed;
+    kops =
+      (if elapsed <= 0.0 then 0.0
+       else float_of_int ops /. (elapsed /. 1e9) /. 1000.0);
+    bytes_written = io.Pdb_simio.Io_stats.bytes_written;
+    bytes_read = io.Pdb_simio.Io_stats.bytes_read;
+  }
+
+(* ---------- canonical workload phases (db_bench-style) ---------- *)
+
+let key_of i = Printf.sprintf "key%010d" i
+let value_of rng n = Pdb_util.Rng.alpha rng n
+
+(** [fill_random store ~n ~value_bytes ~seed] inserts [n] keys in random
+    order. *)
+let fill_random (store : Dyn.dyn) ~n ~value_bytes ~seed =
+  let rng = Pdb_util.Rng.create seed in
+  let perm = Array.init n Fun.id in
+  Pdb_util.Rng.shuffle rng perm;
+  measure store n (fun () ->
+      Array.iter
+        (fun i -> store.Dyn.d_put (key_of i) (value_of rng value_bytes))
+        perm)
+
+(** [fill_seq store ~n ~value_bytes ~seed] inserts [n] keys in ascending
+    order — LSM's trivial-move fast path, FLSM's worst case (§5.2). *)
+let fill_seq (store : Dyn.dyn) ~n ~value_bytes ~seed =
+  let rng = Pdb_util.Rng.create seed in
+  measure store n (fun () ->
+      for i = 0 to n - 1 do
+        store.Dyn.d_put (key_of i) (value_of rng value_bytes)
+      done)
+
+(** [update_random store ~n ~value_bytes ~seed] overwrites every existing
+    key once, in random order. *)
+let update_random (store : Dyn.dyn) ~n ~value_bytes ~seed =
+  let rng = Pdb_util.Rng.create seed in
+  let perm = Array.init n Fun.id in
+  Pdb_util.Rng.shuffle rng perm;
+  measure store n (fun () ->
+      Array.iter
+        (fun i -> store.Dyn.d_put (key_of i) (value_of rng value_bytes))
+        perm)
+
+(** [read_random store ~n ~ops ~seed] issues [ops] point lookups over the
+    [n]-key space. *)
+let read_random (store : Dyn.dyn) ~n ~ops ~seed =
+  let rng = Pdb_util.Rng.create (seed + 1) in
+  measure store ops (fun () ->
+      for _ = 1 to ops do
+        ignore (store.Dyn.d_get (key_of (Pdb_util.Rng.int rng n)))
+      done)
+
+(** [seek_random store ~n ~ops ~nexts ~seed] issues [ops] seeks, each
+    followed by [nexts] next() calls (a range query).  A short untimed
+    warmup first brings the table cache to steady state, as the paper's
+    10M-operation runs do implicitly. *)
+let seek_random ?(warmup = 2_000) (store : Dyn.dyn) ~n ~ops ~nexts ~seed =
+  let wrng = Pdb_util.Rng.create (seed + 11) in
+  for _ = 1 to warmup do
+    let it = store.Dyn.d_iterator () in
+    it.Iter.seek (key_of (Pdb_util.Rng.int wrng n))
+  done;
+  let rng = Pdb_util.Rng.create (seed + 2) in
+  measure store ops (fun () ->
+      for _ = 1 to ops do
+        let it = store.Dyn.d_iterator () in
+        it.Iter.seek (key_of (Pdb_util.Rng.int rng n));
+        let steps = ref 0 in
+        while it.Iter.valid () && !steps < nexts do
+          ignore (it.Iter.key ());
+          it.Iter.next ();
+          incr steps
+        done
+      done)
+
+(** [delete_random store ~n ~seed] deletes every key once, random order. *)
+let delete_random (store : Dyn.dyn) ~n ~seed =
+  let rng = Pdb_util.Rng.create (seed + 3) in
+  let perm = Array.init n Fun.id in
+  Pdb_util.Rng.shuffle rng perm;
+  measure store n (fun () ->
+      Array.iter (fun i -> store.Dyn.d_delete (key_of i)) perm)
+
+(* ---------- reporting ---------- *)
+
+let mb bytes = float_of_int bytes /. (1024.0 *. 1024.0)
+
+(** Render rows as an aligned table with a header. *)
+let print_table ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  Printf.printf "\n== %s ==\n" title;
+  let print_row row =
+    List.iteri
+      (fun c cell -> Printf.printf "%-*s  " (List.nth widths c) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  flush stdout
+
+let fmt_f ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+
+(** Write amplification of a store at this instant: device writes over user
+    payload. *)
+let write_amp (store : Dyn.dyn) =
+  let st = store.Dyn.d_stats () in
+  let io = Env.stats store.Dyn.d_env in
+  if st.Pdb_kvs.Engine_stats.user_bytes_written = 0 then 0.0
+  else
+    float_of_int io.Pdb_simio.Io_stats.bytes_written
+    /. float_of_int st.Pdb_kvs.Engine_stats.user_bytes_written

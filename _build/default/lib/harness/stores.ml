@@ -1,0 +1,76 @@
+(** Store factory: every engine of the evaluation, packaged uniformly.
+
+    Each store runs in its own simulated environment (device, clock, IO
+    counters), so per-store measurements never interfere. *)
+
+module Dyn = Pdb_kvs.Store_intf
+module O = Pdb_kvs.Options
+module Env = Pdb_simio.Env
+
+type engine =
+  | Pebblesdb
+  | Pebblesdb_one  (** max_sstables_per_guard = 1 — the paper's LSM mode *)
+  | Hyperleveldb
+  | Leveldb
+  | Rocksdb
+  | Btree  (** KyotoCabinet-style write-through B+-tree *)
+  | Wiredtiger
+
+let engine_name = function
+  | Pebblesdb -> "pebblesdb"
+  | Pebblesdb_one -> "pebblesdb-1"
+  | Hyperleveldb -> "hyperleveldb"
+  | Leveldb -> "leveldb"
+  | Rocksdb -> "rocksdb"
+  | Btree -> "kyotocabinet-sim"
+  | Wiredtiger -> "wiredtiger-sim"
+
+let default_options = function
+  | Pebblesdb -> O.pebblesdb ()
+  | Pebblesdb_one ->
+    { (O.pebblesdb ()) with O.name = "pebblesdb-1"; max_sstables_per_guard = 1 }
+  | Hyperleveldb -> O.hyperleveldb ()
+  | Leveldb -> O.leveldb ()
+  | Rocksdb -> O.rocksdb ()
+  | Btree -> { (O.leveldb ()) with O.name = "kyotocabinet-sim" }
+  | Wiredtiger -> { (O.leveldb ()) with O.name = "wiredtiger-sim" }
+
+(** [open_engine ?tweak ?env engine] opens a fresh store.  [tweak] edits the
+    profile (experiment-specific sizes); [env] reuses an existing
+    environment (reopen scenarios). *)
+let open_engine ?(tweak = Fun.id) ?env engine =
+  let opts = tweak (default_options engine) in
+  let env = match env with Some e -> e | None -> Env.create () in
+  let dir = "db" in
+  match engine with
+  | Pebblesdb | Pebblesdb_one ->
+    let module P = struct
+      include Pebblesdb.Pebbles_store
+
+      (* fix the optional [?snapshot] so the module matches Store_intf.S *)
+      let get t k = get t k
+      let iterator t = iterator t
+    end in
+    Dyn.dyn_of (module P) (P.open_store opts ~env ~dir)
+  | Hyperleveldb | Leveldb | Rocksdb ->
+    let module L = struct
+      include Pdb_lsm.Lsm_store
+
+      let get t k = get t k
+      let iterator t = iterator t
+    end in
+    Dyn.dyn_of (module L) (L.open_store opts ~env ~dir)
+  | Btree ->
+    let module B = struct
+      include Pdb_btree.Bptree
+
+      (* fix the optional [?mode] so the module matches Store_intf.S *)
+      let open_store opts ~env ~dir = open_store opts ~env ~dir
+    end in
+    Dyn.dyn_of (module B) (B.open_store opts ~env ~dir)
+  | Wiredtiger ->
+    Dyn.dyn_of (module Pdb_btree.Wt_store)
+      (Pdb_btree.Wt_store.open_store opts ~env ~dir)
+
+(** The four key-value stores of the paper's main comparisons. *)
+let paper_stores = [ Pebblesdb; Hyperleveldb; Leveldb; Rocksdb ]

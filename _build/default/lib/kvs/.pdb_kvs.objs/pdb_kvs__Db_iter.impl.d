@@ -1,0 +1,1 @@
+lib/kvs/db_iter.ml: Internal_key Iter Option String

@@ -1,0 +1,1 @@
+lib/kvs/engine_stats.ml: Fmt List

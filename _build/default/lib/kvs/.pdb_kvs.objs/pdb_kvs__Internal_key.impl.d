@@ -1,0 +1,1 @@
+lib/kvs/internal_key.ml: Buffer Fmt Int Int64 Pdb_util Printf String

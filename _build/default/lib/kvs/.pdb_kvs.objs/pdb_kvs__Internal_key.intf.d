@@ -1,0 +1,1 @@
+lib/kvs/internal_key.mli: Format

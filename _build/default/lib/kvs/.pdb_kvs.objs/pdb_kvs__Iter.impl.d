@@ -1,0 +1,1 @@
+lib/kvs/iter.ml: Array List String

@@ -1,0 +1,1 @@
+lib/kvs/memtable.ml: Internal_key Iter Pdb_skiplist String

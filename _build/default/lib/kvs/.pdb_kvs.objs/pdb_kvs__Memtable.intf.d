@@ -1,0 +1,1 @@
+lib/kvs/memtable.mli: Internal_key Iter

@@ -1,0 +1,1 @@
+lib/kvs/merging_iter.ml: Array Iter

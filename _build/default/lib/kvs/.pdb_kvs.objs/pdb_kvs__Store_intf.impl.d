@@ -1,0 +1,1 @@
+lib/kvs/store_intf.ml: Engine_stats Iter Options Pdb_simio Write_batch

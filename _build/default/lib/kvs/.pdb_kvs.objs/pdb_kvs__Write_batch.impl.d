@@ -1,0 +1,1 @@
+lib/kvs/write_batch.ml: Buffer Int64 List Pdb_util Printf String

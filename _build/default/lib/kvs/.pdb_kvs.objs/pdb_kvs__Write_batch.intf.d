@@ -1,0 +1,1 @@
+lib/kvs/write_batch.mli:

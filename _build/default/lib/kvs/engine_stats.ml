@@ -1,0 +1,69 @@
+(** Per-engine operation counters, shared by LSM and FLSM stores.
+
+    These are measurement hooks for the evaluation: compaction volume
+    (write amplification breakdown), bloom effectiveness, sstable reads per
+    query (the FLSM read-overhead analysis in §4.1/§4.2), and stall
+    accounting. *)
+
+type t = {
+  mutable user_bytes_written : int;  (** key+value payload accepted *)
+  mutable flushes : int;
+  mutable compactions : int;
+  mutable compaction_bytes_read : int;
+  mutable compaction_bytes_written : int;
+  mutable sstables_built : int;
+  mutable gets : int;
+  mutable puts : int;
+  mutable deletes : int;
+  mutable seeks : int;
+  mutable nexts : int;
+  mutable sstables_examined : int;  (** tables consulted across all queries *)
+  mutable bloom_checks : int;
+  mutable bloom_negative : int;  (** tables skipped thanks to a filter *)
+  mutable write_stalls : int;
+  mutable guards_committed : int;  (** FLSM only *)
+  mutable guards_empty : int;  (** FLSM only; refreshed on demand *)
+  mutable seek_compactions : int;  (** FLSM only *)
+  mutable write_breakdown : (string * int) list;
+      (** bytes written per compaction category (diagnostics) *)
+}
+
+let bump_breakdown t category bytes =
+  let current =
+    match List.assoc_opt category t.write_breakdown with
+    | Some v -> v
+    | None -> 0
+  in
+  t.write_breakdown <-
+    (category, current + bytes)
+    :: List.remove_assoc category t.write_breakdown
+
+let create () =
+  {
+    user_bytes_written = 0;
+    flushes = 0;
+    compactions = 0;
+    compaction_bytes_read = 0;
+    compaction_bytes_written = 0;
+    sstables_built = 0;
+    gets = 0;
+    puts = 0;
+    deletes = 0;
+    seeks = 0;
+    nexts = 0;
+    sstables_examined = 0;
+    bloom_checks = 0;
+    bloom_negative = 0;
+    write_stalls = 0;
+    guards_committed = 0;
+    guards_empty = 0;
+    seek_compactions = 0;
+    write_breakdown = [];
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "user=%dB flushes=%d compactions=%d cread=%dB cwritten=%dB tables=%d \
+     stalls=%d"
+    t.user_bytes_written t.flushes t.compactions t.compaction_bytes_read
+    t.compaction_bytes_written t.sstables_built t.write_stalls

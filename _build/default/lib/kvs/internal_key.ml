@@ -1,0 +1,77 @@
+(** Internal keys: user key ⊕ sequence number ⊕ kind.
+
+    As in LevelDB (§2.2 of the paper), updating or deleting a key never
+    modifies data in place — the key is re-inserted with a higher sequence
+    number, deletions carrying a tombstone flag.  The most recent version of
+    a key is the one with the highest sequence number.
+
+    Encoding: [user_key ^ fixed64(seq << 8 | kind)], so an encoded internal
+    key can be stored in sstable blocks as an opaque string.  Ordering is by
+    user key ascending, then sequence number *descending* (newest first),
+    then kind. *)
+
+type kind = Deletion | Value
+
+let kind_to_int = function Deletion -> 0 | Value -> 1
+let kind_of_int = function
+  | 0 -> Deletion
+  | 1 -> Value
+  | n -> invalid_arg (Printf.sprintf "Internal_key.kind_of_int %d" n)
+
+let trailer_size = 8
+
+(** [encode ~user_key ~seq ~kind] builds an encoded internal key. *)
+let encode ~user_key ~seq ~kind =
+  let buf = Buffer.create (String.length user_key + trailer_size) in
+  Buffer.add_string buf user_key;
+  let packed =
+    Int64.logor
+      (Int64.shift_left (Int64.of_int seq) 8)
+      (Int64.of_int (kind_to_int kind))
+  in
+  Pdb_util.Varint.put_fixed64 buf packed;
+  Buffer.contents buf
+
+(** [user_key ikey] extracts the user portion. *)
+let user_key ikey =
+  let n = String.length ikey in
+  assert (n >= trailer_size);
+  String.sub ikey 0 (n - trailer_size)
+
+let seq ikey =
+  let n = String.length ikey in
+  let packed = Pdb_util.Varint.get_fixed64 ikey (n - trailer_size) in
+  Int64.to_int (Int64.shift_right_logical packed 8)
+
+let kind ikey =
+  let n = String.length ikey in
+  let packed = Pdb_util.Varint.get_fixed64 ikey (n - trailer_size) in
+  kind_of_int (Int64.to_int (Int64.logand packed 0xffL))
+
+(** Total order over encoded internal keys: user key ascending, sequence
+    descending, kind descending — so the freshest entry for a user key sorts
+    first. *)
+let compare a b =
+  let ua = user_key a and ub = user_key b in
+  let c = String.compare ua ub in
+  if c <> 0 then c
+  else
+    let c = Int.compare (seq b) (seq a) in
+    if c <> 0 then c
+    else Int.compare (kind_to_int (kind b)) (kind_to_int (kind a))
+
+(** [max_for_lookup user_key] is the internal key that sorts before every
+    stored version of [user_key]: seeking to it lands on the freshest
+    version visible at the largest sequence number. *)
+let max_seq = (1 lsl 56) - 1
+
+let max_for_lookup user_key = encode ~user_key ~seq:max_seq ~kind:Value
+
+(** [lookup_at ~user_key ~seq] is the lookup key for a snapshot read:
+    seeking to it lands on the freshest version visible at sequence number
+    [seq]. *)
+let lookup_at ~user_key ~seq = encode ~user_key ~seq ~kind:Value
+
+let pp ppf ikey =
+  Fmt.pf ppf "%S@%d%s" (user_key ikey) (seq ikey)
+    (match kind ikey with Deletion -> "(del)" | Value -> "")

@@ -1,0 +1,76 @@
+(** Memtable: the in-memory buffer of recent writes.
+
+    A skip list keyed by encoded internal keys (§2.2).  Writes append
+    entries with fresh sequence numbers; when [approximate_bytes] exceeds
+    the configured memtable size the engine freezes it and flushes it to a
+    level-0 sstable. *)
+
+type t = {
+  list : (string, string) Pdb_skiplist.Skiplist.t;
+  mutable bytes : int;
+  mutable entries : int;
+}
+
+(* Memtable node overhead, modeled after LevelDB's arena accounting. *)
+let per_entry_overhead = 24
+
+let create () =
+  {
+    list =
+      Pdb_skiplist.Skiplist.create ~compare:Internal_key.compare
+        (Internal_key.encode ~user_key:"" ~seq:0 ~kind:Internal_key.Value)
+        "";
+    bytes = 0;
+    entries = 0;
+  }
+
+(** [add t ~seq ~kind ~user_key ~value] inserts one entry. *)
+let add t ~seq ~kind ~user_key ~value =
+  let ikey = Internal_key.encode ~user_key ~seq ~kind in
+  Pdb_skiplist.Skiplist.insert t.list ikey value;
+  t.bytes <- t.bytes + String.length ikey + String.length value
+             + per_entry_overhead;
+  t.entries <- t.entries + 1
+
+(** [get t user_key] is the freshest entry for [user_key]:
+    [Some (Some v)] for a live value, [Some None] for a tombstone, [None]
+    when the memtable holds no version of the key. *)
+let get t user_key =
+  match Pdb_skiplist.Skiplist.seek t.list (Internal_key.max_for_lookup user_key) with
+  | Some (ikey, value) when String.equal (Internal_key.user_key ikey) user_key
+    -> (match Internal_key.kind ikey with
+        | Internal_key.Value -> Some (Some value)
+        | Internal_key.Deletion -> Some None)
+  | Some _ | None -> None
+
+(** [get_at t user_key ~seq] is the freshest entry visible at sequence
+    number [seq] (snapshot reads); same result shape as {!get}. *)
+let get_at t user_key ~seq =
+  match
+    Pdb_skiplist.Skiplist.seek t.list (Internal_key.lookup_at ~user_key ~seq)
+  with
+  | Some (ikey, value) when String.equal (Internal_key.user_key ikey) user_key
+    -> (match Internal_key.kind ikey with
+        | Internal_key.Value -> Some (Some value)
+        | Internal_key.Deletion -> Some None)
+  | Some _ | None -> None
+
+let approximate_bytes t = t.bytes
+let entries t = t.entries
+let is_empty t = t.entries = 0
+
+(** [iterator t] ranges over encoded internal keys. *)
+let iterator t =
+  let cursor = Pdb_skiplist.Skiplist.Cursor.make t.list in
+  {
+    Iter.seek_to_first = (fun () -> Pdb_skiplist.Skiplist.Cursor.seek_to_first cursor);
+    seek = (fun target -> Pdb_skiplist.Skiplist.Cursor.seek cursor target);
+    next = (fun () -> Pdb_skiplist.Skiplist.Cursor.next cursor);
+    valid = (fun () -> Pdb_skiplist.Skiplist.Cursor.valid cursor);
+    key = (fun () -> fst (Pdb_skiplist.Skiplist.Cursor.entry cursor));
+    value = (fun () -> snd (Pdb_skiplist.Skiplist.Cursor.entry cursor));
+  }
+
+(** [contents t] lists all (internal key, value) entries in order — used by
+    flush. *)
+let contents t = Pdb_skiplist.Skiplist.to_list t.list

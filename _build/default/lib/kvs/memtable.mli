@@ -1,0 +1,35 @@
+(** Memtable: the in-memory buffer of recent writes.
+
+    A skip list keyed by encoded internal keys (§2.2).  Writes append
+    entries with fresh sequence numbers; when {!approximate_bytes} exceeds
+    the configured memtable size the engine freezes it and flushes it to a
+    level-0 sstable. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t ~seq ~kind ~user_key ~value] inserts one entry. *)
+val add :
+  t -> seq:int -> kind:Internal_key.kind -> user_key:string -> value:string ->
+  unit
+
+(** [get t user_key] is the freshest entry for [user_key]:
+    [Some (Some v)] for a live value, [Some None] for a tombstone, [None]
+    when the memtable holds no version of the key. *)
+val get : t -> string -> string option option
+
+(** [get_at t user_key ~seq] is the freshest entry visible at sequence
+    number [seq] (snapshot reads); same result shape as {!get}. *)
+val get_at : t -> string -> seq:int -> string option option
+
+val approximate_bytes : t -> int
+val entries : t -> int
+val is_empty : t -> bool
+
+(** [iterator t] ranges over encoded internal keys. *)
+val iterator : t -> Iter.t
+
+(** [contents t] lists all (internal key, value) entries in order — used by
+    flush. *)
+val contents : t -> (string * string) list

@@ -1,0 +1,76 @@
+(** Write batches: an ordered group of puts/deletes applied atomically.
+
+    The batch's serialised form is also the WAL record payload, so recovery
+    replays batches exactly.  Format (LevelDB-flavoured):
+    [fixed64 base_seq | fixed32 count | ops], each op being a tag byte
+    followed by length-prefixed key (and value for puts). *)
+
+type op = Put of string * string | Delete of string
+
+type t = { mutable ops : op list; mutable count : int; mutable payload : int }
+
+let create () = { ops = []; count = 0; payload = 0 }
+
+let put t k v =
+  t.ops <- Put (k, v) :: t.ops;
+  t.count <- t.count + 1;
+  t.payload <- t.payload + String.length k + String.length v
+
+let delete t k =
+  t.ops <- Delete k :: t.ops;
+  t.count <- t.count + 1;
+  t.payload <- t.payload + String.length k
+
+let count t = t.count
+
+(** [payload_bytes t] is the user-data volume in the batch (keys + values) —
+    the denominator of write amplification. *)
+let payload_bytes t = t.payload
+
+(** [ops t] lists the operations in insertion order. *)
+let ops t = List.rev t.ops
+
+let iter t f = List.iter f (ops t)
+
+(** [encode t ~base_seq] serialises the batch; operation [i] carries
+    sequence number [base_seq + i]. *)
+let encode t ~base_seq =
+  let buf = Buffer.create (64 + t.payload) in
+  Pdb_util.Varint.put_fixed64 buf (Int64.of_int base_seq);
+  Pdb_util.Varint.put_fixed32 buf t.count;
+  List.iter
+    (fun op ->
+      match op with
+      | Put (k, v) ->
+        Buffer.add_char buf '\001';
+        Pdb_util.Varint.put_length_prefixed buf k;
+        Pdb_util.Varint.put_length_prefixed buf v
+      | Delete k ->
+        Buffer.add_char buf '\000';
+        Pdb_util.Varint.put_length_prefixed buf k)
+    (ops t);
+  Buffer.contents buf
+
+(** [decode s] recovers [(batch, base_seq)].  Raises [Invalid_argument] on
+    malformed input. *)
+let decode s =
+  let base_seq = Int64.to_int (Pdb_util.Varint.get_fixed64 s 0) in
+  let count = Pdb_util.Varint.get_fixed32 s 8 in
+  let t = create () in
+  let pos = ref 12 in
+  for _ = 1 to count do
+    let tag = s.[!pos] in
+    incr pos;
+    match tag with
+    | '\001' ->
+      let k, p = Pdb_util.Varint.get_length_prefixed s !pos in
+      let v, p = Pdb_util.Varint.get_length_prefixed s p in
+      pos := p;
+      put t k v
+    | '\000' ->
+      let k, p = Pdb_util.Varint.get_length_prefixed s !pos in
+      pos := p;
+      delete t k
+    | c -> invalid_arg (Printf.sprintf "Write_batch.decode: bad tag %C" c)
+  done;
+  (t, base_seq)

@@ -1,0 +1,30 @@
+(** Write batches: an ordered group of puts/deletes applied atomically.
+
+    The batch's serialised form is also the WAL record payload, so
+    recovery replays batches exactly. *)
+
+type op = Put of string * string | Delete of string
+
+type t
+
+val create : unit -> t
+val put : t -> string -> string -> unit
+val delete : t -> string -> unit
+val count : t -> int
+
+(** User-data volume in the batch (keys + values) — the denominator of
+    write amplification. *)
+val payload_bytes : t -> int
+
+(** Operations in insertion order. *)
+val ops : t -> op list
+
+val iter : t -> (op -> unit) -> unit
+
+(** [encode t ~base_seq] serialises the batch; operation [i] carries
+    sequence number [base_seq + i]. *)
+val encode : t -> base_seq:int -> string
+
+(** [decode s] recovers [(batch, base_seq)].
+    @raise Invalid_argument on malformed input. *)
+val decode : string -> t * int

@@ -1,0 +1,1 @@
+lib/lsm/lsm_store.ml: Array Buffer Int List Pdb_kvs Pdb_manifest Pdb_simio Pdb_sstable Pdb_wal Printf String

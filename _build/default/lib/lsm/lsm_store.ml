@@ -1,0 +1,849 @@
+(** Baseline log-structured merge-tree store (LevelDB-style leveled
+    compaction, §2.2).
+
+    This is the stand-in for the paper's LevelDB / RocksDB / HyperLevelDB
+    baselines; the three are instances of this engine under different
+    {!Pdb_kvs.Options} profiles.  The engine maintains the classical LSM
+    invariant — every level >= 1 holds sstables with disjoint key ranges —
+    and therefore pays the classical price: compacting a level rewrites the
+    overlapping sstables of the next level, which is the root cause of LSM
+    write amplification that FLSM removes. *)
+
+module Ik = Pdb_kvs.Internal_key
+module Iter = Pdb_kvs.Iter
+module O = Pdb_kvs.Options
+module Env = Pdb_simio.Env
+module Clock = Pdb_simio.Clock
+module Device = Pdb_simio.Device
+module Table = Pdb_sstable.Table
+module Wal = Pdb_wal.Wal
+module Manifest = Pdb_manifest.Manifest
+
+type t = {
+  opts : O.t;
+  env : Env.t;
+  dir : string;
+  clock : Clock.t;
+  stats : Pdb_kvs.Engine_stats.t;
+  table_cache : Pdb_sstable.Table_cache.t;
+  block_cache : Pdb_sstable.Block_cache.t;
+  mutable mem : Pdb_kvs.Memtable.t;
+  mutable wal : Wal.Writer.t;
+  mutable wal_number : int;
+  mutable manifest : Manifest.t;
+  mutable next_file : int;
+  mutable last_seq : int;
+  levels : Table.meta list array;
+      (* level 0: newest first (descending file number); levels >= 1:
+         ascending by smallest key, disjoint ranges *)
+  compact_pointer : string array; (* round-robin pick cursor per level *)
+  mutable obsolete : string list; (* files awaiting deletion *)
+  snapshots : Pdb_kvs.Snapshots.t;
+  mutable consecutive_seeks : int;
+  mutable closed : bool;
+}
+
+let log_name dir n = Printf.sprintf "%s/%06d.log" dir n
+
+let new_file_number t =
+  let n = t.next_file in
+  t.next_file <- n + 1;
+  n
+
+let charge_cpu t ns = Clock.advance_cpu t.clock ns
+
+let user_range_overlap (m : Table.meta) key =
+  String.compare (Ik.user_key m.Table.smallest) key <= 0
+  && String.compare key (Ik.user_key m.Table.largest) <= 0
+
+(* ---------- obsolete-file garbage collection ---------- *)
+
+(* Files are deleted lazily at the next mutating operation, so that open
+   iterators (which are invalidated, not protected, by writes — as
+   documented in Store_intf) never read a vanished file. *)
+(* Superseded files stay pinned while snapshots are live. *)
+let gc_obsolete t =
+  if Pdb_kvs.Snapshots.is_empty t.snapshots then begin
+    List.iter (fun name -> Env.delete t.env name) t.obsolete;
+    t.obsolete <- []
+  end
+
+(* ---------- recovery ---------- *)
+
+(* Replay a list of version edits into mutable local state; shared with the
+   FLSM engine's recovery shape. *)
+let apply_edit ~levels ~wal_number ~next_file ~last_seq (e : Manifest.edit) =
+  (match e.Manifest.log_number with
+   | Some n -> wal_number := n
+   | None -> ());
+  (match e.Manifest.next_file_number with
+   | Some n -> next_file := max !next_file n
+   | None -> ());
+  (match e.Manifest.last_sequence with
+   | Some n -> last_seq := max !last_seq n
+   | None -> ());
+  List.iter
+    (fun (level, number) ->
+      levels.(level) <-
+        List.filter (fun (m : Table.meta) -> m.Table.number <> number)
+          levels.(level))
+    e.Manifest.deleted_files;
+  List.iter
+    (fun (level, meta) -> levels.(level) <- meta :: levels.(level))
+    e.Manifest.added_files
+
+let normalize_levels levels =
+  levels.(0) <-
+    List.sort
+      (fun (a : Table.meta) (b : Table.meta) ->
+        Int.compare b.Table.number a.Table.number)
+      levels.(0);
+  for i = 1 to Array.length levels - 1 do
+    levels.(i) <-
+      List.sort
+        (fun (a : Table.meta) (b : Table.meta) ->
+          Ik.compare a.Table.smallest b.Table.smallest)
+        levels.(i)
+  done
+
+(* Snapshot the whole state as a single edit (written to a fresh MANIFEST
+   on every open, as LevelDB does). *)
+let snapshot_edit t =
+  let e = Manifest.empty_edit () in
+  e.Manifest.log_number <- Some t.wal_number;
+  e.Manifest.next_file_number <- Some t.next_file;
+  e.Manifest.last_sequence <- Some t.last_seq;
+  e.Manifest.added_files <-
+    List.concat
+      (List.mapi
+         (fun level files -> List.map (fun m -> (level, m)) (List.rev files))
+         (Array.to_list t.levels));
+  e
+
+(* Replay the WAL numbered [wal_number] into [mem]; returns the highest
+   sequence number seen. *)
+let replay_wal env ~dir ~wal_number ~mem ~last_seq =
+  let name = log_name dir wal_number in
+  let seq_max = ref last_seq in
+  if Env.exists env name then begin
+    let records = Wal.Reader.read_all env name in
+    List.iter
+      (fun record ->
+        match Pdb_kvs.Write_batch.decode record with
+        | exception Invalid_argument _ -> () (* torn batch: stop-gap skip *)
+        | batch, base_seq ->
+          let seq = ref base_seq in
+          Pdb_kvs.Write_batch.iter batch (fun op ->
+              (match op with
+               | Pdb_kvs.Write_batch.Put (k, v) ->
+                 Pdb_kvs.Memtable.add mem ~seq:!seq ~kind:Ik.Value ~user_key:k
+                   ~value:v
+               | Pdb_kvs.Write_batch.Delete k ->
+                 Pdb_kvs.Memtable.add mem ~seq:!seq ~kind:Ik.Deletion
+                   ~user_key:k ~value:"");
+              incr seq);
+          seq_max := max !seq_max (!seq - 1))
+      records;
+    Env.delete env name
+  end;
+  !seq_max
+
+(* ---------- flush (memtable -> level-0 sstable) ---------- *)
+
+let build_table_from_iter t ~iter ~level:_ =
+  let number = new_file_number t in
+  let builder =
+    Table.Builder.create t.env ~dir:t.dir ~number
+      ~block_bytes:t.opts.O.block_bytes ~bloom:t.opts.O.sstable_bloom
+      ~expected_keys:
+        (max 16 (t.opts.O.memtable_bytes / 64) (* rough per-key estimate *))
+  in
+  iter (fun ikey value ->
+      Table.Builder.add builder ikey value;
+      Clock.advance t.clock t.opts.O.cpu_per_merge_entry_ns);
+  Table.Builder.finish builder
+
+let rec flush_memtable t =
+  if not (Pdb_kvs.Memtable.is_empty t.mem) then begin
+    let mem = t.mem in
+    let meta =
+      Clock.with_background t.clock (fun () ->
+          build_table_from_iter t ~level:0 ~iter:(fun f ->
+              List.iter
+                (fun (ik, v) -> f ik v)
+                (Pdb_kvs.Memtable.contents mem)))
+    in
+    (match meta with
+     | Some meta ->
+       t.levels.(0) <- meta :: t.levels.(0);
+       t.stats.Pdb_kvs.Engine_stats.flushes <-
+         t.stats.Pdb_kvs.Engine_stats.flushes + 1;
+       t.stats.Pdb_kvs.Engine_stats.sstables_built <-
+         t.stats.Pdb_kvs.Engine_stats.sstables_built + 1
+     | None -> ());
+    (* rotate WAL *)
+    Env.delete t.env (log_name t.dir t.wal_number);
+    let new_log = new_file_number t in
+    t.wal <- Wal.Writer.create t.env (log_name t.dir new_log);
+    t.wal_number <- new_log;
+    t.mem <- Pdb_kvs.Memtable.create ();
+    let e = Manifest.empty_edit () in
+    e.Manifest.log_number <- Some new_log;
+    e.Manifest.next_file_number <- Some t.next_file;
+    e.Manifest.last_sequence <- Some t.last_seq;
+    (match meta with
+     | Some m -> e.Manifest.added_files <- [ (0, m) ]
+     | None -> ());
+    Manifest.append t.manifest e;
+    maybe_compact t
+  end
+
+(* ---------- compaction ---------- *)
+
+and level_bytes t level =
+  List.fold_left (fun acc (m : Table.meta) -> acc + m.Table.file_size) 0
+    t.levels.(level)
+
+and compaction_score t level =
+  if level = 0 then
+    float_of_int (List.length t.levels.(0))
+    /. float_of_int t.opts.O.l0_compaction_trigger
+  else if level >= t.opts.O.max_levels - 1 then 0.0
+  else
+    float_of_int (level_bytes t level)
+    /. float_of_int (O.level_max_bytes t.opts level)
+
+and pick_compaction_level t =
+  let best = ref (-1) and best_score = ref 0.999 in
+  for level = 0 to t.opts.O.max_levels - 2 do
+    let score = compaction_score t level in
+    if score > !best_score then begin
+      best := level;
+      best_score := score
+    end
+  done;
+  if !best >= 0 then Some !best else None
+
+and pick_inputs t level =
+  if level = 0 then begin
+    (* the oldest L0 file plus every L0 file overlapping it (LevelDB's
+       rule).  On sequential fills the L0 files are disjoint, so this
+       selects a single file and enables the trivial-move fast path. *)
+    match List.rev t.levels.(0) with
+    | [] -> []
+    | oldest :: _ ->
+      let lo = ref (Ik.user_key oldest.Table.smallest)
+      and hi = ref (Ik.user_key oldest.Table.largest) in
+      (* grow the range transitively over overlapping files *)
+      let changed = ref true in
+      let selected = ref [ oldest ] in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (m : Table.meta) ->
+            if
+              not
+                (List.exists
+                   (fun (s : Table.meta) -> s.Table.number = m.Table.number)
+                   !selected)
+              && not
+                   (String.compare (Ik.user_key m.Table.largest) !lo < 0
+                    || String.compare (Ik.user_key m.Table.smallest) !hi > 0)
+            then begin
+              selected := m :: !selected;
+              if String.compare (Ik.user_key m.Table.smallest) !lo < 0 then
+                lo := Ik.user_key m.Table.smallest;
+              if String.compare (Ik.user_key m.Table.largest) !hi > 0 then
+                hi := Ik.user_key m.Table.largest;
+              changed := true
+            end)
+          t.levels.(0)
+      done;
+      !selected
+  end
+  else begin
+    (* round-robin: first [compaction_pick_files] files after the pointer *)
+    let files = t.levels.(level) in
+    let after =
+      List.filter
+        (fun (m : Table.meta) ->
+          String.compare
+            (Ik.user_key m.Table.largest)
+            t.compact_pointer.(level)
+          > 0)
+        files
+    in
+    let pool = if after = [] then files else after in
+    (* a first pick that overlaps nothing below is a trivial move; widening
+       it to [compaction_pick_files] would throw the fast path away *)
+    (match pool with
+     | first :: _
+       when overlapping_files t (level + 1)
+              ~smallest:(Ik.user_key first.Table.smallest)
+              ~largest:(Ik.user_key first.Table.largest)
+            = [] ->
+       [ first ]
+     | _ ->
+       let rec take n = function
+         | [] -> []
+         | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+       in
+       take t.opts.O.compaction_pick_files pool)
+  end
+
+and overlapping_files t level ~smallest ~largest =
+  List.filter
+    (fun (m : Table.meta) ->
+      not
+        (String.compare (Ik.user_key m.Table.largest) smallest < 0
+         || String.compare (Ik.user_key m.Table.smallest) largest > 0))
+    t.levels.(level)
+
+and input_user_range inputs =
+  let smallest =
+    List.fold_left
+      (fun acc (m : Table.meta) ->
+        let s = Ik.user_key m.Table.smallest in
+        if acc = "" || String.compare s acc < 0 then s else acc)
+      "" inputs
+  in
+  let largest =
+    List.fold_left
+      (fun acc (m : Table.meta) ->
+        let l = Ik.user_key m.Table.largest in
+        if String.compare l acc > 0 then l else acc)
+      "" inputs
+  in
+  (smallest, largest)
+
+(* Merge [inputs_lo] (level) and [inputs_hi] (level+1) into new tables for
+   level+1.  Runs inside the background lane. *)
+and run_merge t ~inputs_lo ~inputs_hi ~target_level =
+  let scratch =
+    Pdb_sstable.Block_cache.create ~capacity:(8 * t.opts.O.block_bytes)
+  in
+  let iter_of_meta m =
+    (* bypass the table cache: compaction streams its inputs sequentially
+       and must not evict hot read-path tables *)
+    let reader =
+      Table.open_reader ~hint:Device.Sequential_read t.env ~dir:t.dir m
+    in
+    Table.iterator reader ~cache:scratch ~hint:Device.Sequential_read
+  in
+  let children = List.map iter_of_meta (inputs_lo @ inputs_hi) in
+  let merged = Pdb_kvs.Merging_iter.create ~compare:Ik.compare children in
+  let bottom = target_level >= t.opts.O.max_levels - 1 in
+  let outputs = ref [] in
+  let builder = ref None in
+  let expected_keys = max 16 (t.opts.O.sstable_target_bytes / 64) in
+  let get_builder () =
+    match !builder with
+    | Some b -> b
+    | None ->
+      let b =
+        Table.Builder.create t.env ~dir:t.dir ~number:(new_file_number t)
+          ~block_bytes:t.opts.O.block_bytes ~bloom:t.opts.O.sstable_bloom
+          ~expected_keys
+      in
+      builder := Some b;
+      b
+  in
+  let finish_builder () =
+    match !builder with
+    | None -> ()
+    | Some b ->
+      (match Table.Builder.finish b with
+       | Some meta -> outputs := meta :: !outputs
+       | None -> ());
+      builder := None
+  in
+  (* previous entry seen for the current user key: (key, its seq) *)
+  let last_entry = ref None in
+  merged.Iter.seek_to_first ();
+  while merged.Iter.valid () do
+    let ikey = merged.Iter.key () in
+    let uk = Ik.user_key ikey in
+    let cur_seq = Ik.seq ikey in
+    Clock.advance t.clock t.opts.O.cpu_per_merge_entry_ns;
+    let drop =
+      (match !last_entry with
+       | Some (prev, prev_seq) when String.equal prev uk ->
+         (* superseded version: droppable only when the newer version is
+            visible to every live snapshot *)
+         Pdb_kvs.Snapshots.droppable t.snapshots ~prev_seq:(Some prev_seq)
+           ~last_seq:t.last_seq
+       | _ ->
+         (* tombstones die when they reach the bottom level, unless a
+            snapshot still needs them *)
+         bottom
+         && Ik.kind ikey = Ik.Deletion
+         && Pdb_kvs.Snapshots.tombstone_droppable t.snapshots ~seq:cur_seq
+              ~last_seq:t.last_seq)
+    in
+    last_entry := Some (uk, cur_seq);
+    if not drop then begin
+      let b = get_builder () in
+      Table.Builder.add b ikey (merged.Iter.value ());
+      if Table.Builder.estimated_size b >= t.opts.O.sstable_target_bytes then
+        finish_builder ()
+    end;
+    merged.Iter.next ()
+  done;
+  finish_builder ();
+  List.rev !outputs
+
+and install_compaction t ~level ~inputs_lo ~inputs_hi ~outputs =
+  let target = level + 1 in
+  (* update in-memory levels *)
+  let in_lo = List.map (fun (m : Table.meta) -> m.Table.number) inputs_lo in
+  let in_hi = List.map (fun (m : Table.meta) -> m.Table.number) inputs_hi in
+  t.levels.(level) <-
+    List.filter
+      (fun (m : Table.meta) -> not (List.mem m.Table.number in_lo))
+      t.levels.(level);
+  t.levels.(target) <-
+    List.sort
+      (fun (a : Table.meta) (b : Table.meta) ->
+        Ik.compare a.Table.smallest b.Table.smallest)
+      (outputs
+       @ List.filter
+           (fun (m : Table.meta) -> not (List.mem m.Table.number in_hi))
+           t.levels.(target));
+  (* manifest edit *)
+  let e = Manifest.empty_edit () in
+  e.Manifest.next_file_number <- Some t.next_file;
+  e.Manifest.deleted_files <-
+    List.map (fun n -> (level, n)) in_lo
+    @ List.map (fun n -> (target, n)) in_hi;
+  e.Manifest.added_files <- List.map (fun m -> (target, m)) outputs;
+  Manifest.append t.manifest e;
+  (* retire inputs *)
+  List.iter
+    (fun (m : Table.meta) ->
+      Pdb_sstable.Table_cache.evict t.table_cache m.Table.number;
+      t.obsolete <- Table.file_name ~dir:t.dir m.Table.number :: t.obsolete)
+    (inputs_lo @ inputs_hi);
+  (* stats *)
+  let bytes_of = List.fold_left (fun a (m : Table.meta) -> a + m.Table.file_size) 0 in
+  let st = t.stats in
+  st.Pdb_kvs.Engine_stats.compactions <-
+    st.Pdb_kvs.Engine_stats.compactions + 1;
+  st.Pdb_kvs.Engine_stats.compaction_bytes_read <-
+    st.Pdb_kvs.Engine_stats.compaction_bytes_read
+    + bytes_of inputs_lo + bytes_of inputs_hi;
+  st.Pdb_kvs.Engine_stats.compaction_bytes_written <-
+    st.Pdb_kvs.Engine_stats.compaction_bytes_written + bytes_of outputs;
+  st.Pdb_kvs.Engine_stats.sstables_built <-
+    st.Pdb_kvs.Engine_stats.sstables_built + List.length outputs
+
+and compact_level t level =
+  let inputs_lo = pick_inputs t level in
+  if inputs_lo <> [] then begin
+    let smallest, largest = input_user_range inputs_lo in
+    let inputs_hi = overlapping_files t (level + 1) ~smallest ~largest in
+    (* record the round-robin cursor *)
+    if level > 0 then t.compact_pointer.(level) <- largest;
+    match (inputs_lo, inputs_hi) with
+    | [ single ], [] ->
+      (* trivial move: sequential workloads produce disjoint sstables that
+         LSM moves between levels by metadata alone — the case where LSM
+         beats FLSM (§5.2 "Sequential Writes") *)
+      t.levels.(level) <-
+        List.filter
+          (fun (m : Table.meta) -> m.Table.number <> single.Table.number)
+          t.levels.(level);
+      t.levels.(level + 1) <-
+        List.sort
+          (fun (a : Table.meta) (b : Table.meta) ->
+            Ik.compare a.Table.smallest b.Table.smallest)
+          (single :: t.levels.(level + 1));
+      let e = Manifest.empty_edit () in
+      e.Manifest.deleted_files <- [ (level, single.Table.number) ];
+      e.Manifest.added_files <- [ (level + 1, single) ];
+      Manifest.append t.manifest e
+    | _ ->
+      let outputs =
+        Clock.with_background t.clock (fun () ->
+            run_merge t ~inputs_lo ~inputs_hi ~target_level:(level + 1))
+      in
+      install_compaction t ~level ~inputs_lo ~inputs_hi ~outputs
+  end
+
+and maybe_compact t =
+  match pick_compaction_level t with
+  | Some level ->
+    compact_level t level;
+    maybe_compact t
+  | None -> ()
+
+(* ---------- open / close ---------- *)
+
+let open_store (opts : O.t) ~env ~dir =
+  (* recover the previous shape before touching any file *)
+  let levels = Array.make opts.O.max_levels [] in
+  let wal_number = ref 0 and next_file = ref 1 and last_seq = ref 0 in
+  let mem = Pdb_kvs.Memtable.create () in
+  (match Manifest.recover env ~dir with
+   | Some (_, edits) ->
+     List.iter (apply_edit ~levels ~wal_number ~next_file ~last_seq) edits;
+     normalize_levels levels;
+     last_seq :=
+       replay_wal env ~dir ~wal_number:!wal_number ~mem ~last_seq:!last_seq
+   | None -> ());
+  (* fresh WAL + fresh manifest snapshot *)
+  let new_log = !next_file in
+  incr next_file;
+  let manifest_number = !next_file in
+  incr next_file;
+  let wal = Wal.Writer.create env (log_name dir new_log) in
+  let t =
+    {
+      opts;
+      env;
+      dir;
+      clock = Env.clock env;
+      stats = Pdb_kvs.Engine_stats.create ();
+      table_cache =
+        Pdb_sstable.Table_cache.create env ~dir
+          ~entries:opts.O.table_cache_entries;
+      block_cache =
+        Pdb_sstable.Block_cache.create ~capacity:opts.O.block_cache_bytes;
+      mem;
+      wal;
+      wal_number = new_log;
+      manifest = Manifest.create env ~dir ~number:manifest_number ~edits:[];
+      next_file = !next_file;
+      last_seq = !last_seq;
+      levels;
+      compact_pointer = Array.make opts.O.max_levels "";
+      obsolete = [];
+      snapshots = Pdb_kvs.Snapshots.create ();
+      consecutive_seeks = 0;
+      closed = false;
+    }
+  in
+  Manifest.append t.manifest (snapshot_edit t);
+  (* a recovered memtable may already exceed its budget *)
+  if Pdb_kvs.Memtable.approximate_bytes t.mem >= t.opts.O.memtable_bytes then
+    flush_memtable t;
+  t
+
+let close t =
+  t.closed <- true;
+  gc_obsolete t;
+  Wal.Writer.close t.wal
+
+let options t = t.opts
+let env t = t.env
+let stats t = t.stats
+
+(* ---------- writes ---------- *)
+
+let apply_batch_to_memtable t batch base_seq =
+  let seq = ref base_seq in
+  Pdb_kvs.Write_batch.iter batch (fun op ->
+      charge_cpu t t.opts.O.cpu_memtable_op_ns;
+      (match op with
+       | Pdb_kvs.Write_batch.Put (k, v) ->
+         Pdb_kvs.Memtable.add t.mem ~seq:!seq ~kind:Ik.Value ~user_key:k
+           ~value:v
+       | Pdb_kvs.Write_batch.Delete k ->
+         Pdb_kvs.Memtable.add t.mem ~seq:!seq ~kind:Ik.Deletion ~user_key:k
+           ~value:"");
+      incr seq)
+
+let write t batch =
+  assert (not t.closed);
+  gc_obsolete t;
+  t.consecutive_seeks <- 0;
+  let count = Pdb_kvs.Write_batch.count batch in
+  if count > 0 then begin
+    (* stall model: L0 back-pressure *)
+    if List.length t.levels.(0) >= t.opts.O.l0_slowdown then begin
+      Clock.stall t.clock (t.opts.O.slowdown_stall_ns *. float_of_int count);
+      t.stats.Pdb_kvs.Engine_stats.write_stalls <-
+        t.stats.Pdb_kvs.Engine_stats.write_stalls + count
+    end;
+    charge_cpu t (t.opts.O.op_overhead_write_ns *. float_of_int count);
+    charge_cpu t (t.opts.O.cpu_per_op_ns *. float_of_int count);
+    let base_seq = t.last_seq + 1 in
+    t.last_seq <- t.last_seq + count;
+    Wal.Writer.add_record t.wal
+      (Pdb_kvs.Write_batch.encode batch ~base_seq);
+    if t.opts.O.wal_sync_writes then Wal.Writer.sync t.wal;
+    apply_batch_to_memtable t batch base_seq;
+    t.stats.Pdb_kvs.Engine_stats.user_bytes_written <-
+      t.stats.Pdb_kvs.Engine_stats.user_bytes_written
+      + Pdb_kvs.Write_batch.payload_bytes batch;
+    if Pdb_kvs.Memtable.approximate_bytes t.mem >= t.opts.O.memtable_bytes
+    then flush_memtable t
+  end
+
+let put t k v =
+  t.stats.Pdb_kvs.Engine_stats.puts <- t.stats.Pdb_kvs.Engine_stats.puts + 1;
+  let b = Pdb_kvs.Write_batch.create () in
+  Pdb_kvs.Write_batch.put b k v;
+  write t b
+
+let delete t k =
+  t.stats.Pdb_kvs.Engine_stats.deletes <-
+    t.stats.Pdb_kvs.Engine_stats.deletes + 1;
+  let b = Pdb_kvs.Write_batch.create () in
+  Pdb_kvs.Write_batch.delete b k;
+  write t b
+
+let flush t = flush_memtable t
+
+(* ---------- snapshots ---------- *)
+
+(** [snapshot t] pins the current state for consistent reads; see
+    {!Pebblesdb.Pebbles_store.snapshot} for the shared semantics. *)
+let snapshot t =
+  Pdb_kvs.Snapshots.acquire t.snapshots t.last_seq;
+  t.last_seq
+
+let release_snapshot t s = Pdb_kvs.Snapshots.release t.snapshots s
+
+(* ---------- reads ---------- *)
+
+(* Search one table for the freshest version of [key] visible at
+   [snapshot] (or at the latest state). *)
+let table_lookup ?snapshot t (meta : Table.meta) key =
+  charge_cpu t t.opts.O.cpu_per_sstable_ns;
+  t.stats.Pdb_kvs.Engine_stats.sstables_examined <-
+    t.stats.Pdb_kvs.Engine_stats.sstables_examined + 1;
+  let reader = Pdb_sstable.Table_cache.find t.table_cache meta in
+  let pass_bloom =
+    if Table.has_filter reader then begin
+      charge_cpu t t.opts.O.cpu_bloom_check_ns;
+      t.stats.Pdb_kvs.Engine_stats.bloom_checks <-
+        t.stats.Pdb_kvs.Engine_stats.bloom_checks + 1;
+      let pass = Table.may_contain reader key in
+      if not pass then
+        t.stats.Pdb_kvs.Engine_stats.bloom_negative <-
+          t.stats.Pdb_kvs.Engine_stats.bloom_negative + 1;
+      pass
+    end
+    else true
+  in
+  if not pass_bloom then None
+  else begin
+    charge_cpu t t.opts.O.cpu_per_block_search_ns;
+    let lookup =
+      match snapshot with
+      | Some seq -> Ik.lookup_at ~user_key:key ~seq
+      | None -> Ik.max_for_lookup key
+    in
+    match
+      Table.get reader ~cache:t.block_cache ~hint:Device.Random_read lookup
+    with
+    | Some (ikey, value) when String.equal (Ik.user_key ikey) key ->
+      Some (Ik.kind ikey, value)
+    | Some _ | None -> None
+  end
+
+let get ?snapshot t key =
+  assert (not t.closed);
+  t.stats.Pdb_kvs.Engine_stats.gets <- t.stats.Pdb_kvs.Engine_stats.gets + 1;
+  charge_cpu t (t.opts.O.op_overhead_read_ns +. t.opts.O.cpu_per_op_ns);
+  let mem_result =
+    match snapshot with
+    | Some seq -> Pdb_kvs.Memtable.get_at t.mem key ~seq
+    | None -> Pdb_kvs.Memtable.get t.mem key
+  in
+  match mem_result with
+  | Some (Some v) -> Some v
+  | Some None -> None
+  | None ->
+    let result = ref `NotFound in
+    (* level 0: newest file first; first hit wins *)
+    let rec search_l0 = function
+      | [] -> ()
+      | (m : Table.meta) :: rest ->
+        if !result = `NotFound then begin
+          if user_range_overlap m key then
+            (match table_lookup ?snapshot t m key with
+             | Some (Ik.Value, v) -> result := `Found v
+             | Some (Ik.Deletion, _) -> result := `Deleted
+             | None -> ());
+          search_l0 rest
+        end
+    in
+    search_l0 t.levels.(0);
+    (* deeper levels: at most one candidate file per level *)
+    let level = ref 1 in
+    while !result = `NotFound && !level < t.opts.O.max_levels do
+      (match
+         List.find_opt (fun m -> user_range_overlap m key) t.levels.(!level)
+       with
+       | Some m ->
+         (match table_lookup ?snapshot t m key with
+          | Some (Ik.Value, v) -> result := `Found v
+          | Some (Ik.Deletion, _) -> result := `Deleted
+          | None -> ())
+       | None -> ());
+      incr level
+    done;
+    (match !result with `Found v -> Some v | `Deleted | `NotFound -> None)
+
+(* ---------- iterators ---------- *)
+
+let internal_iterator t =
+  let on_table () =
+    charge_cpu t t.opts.O.cpu_per_sstable_ns;
+    t.stats.Pdb_kvs.Engine_stats.sstables_examined <-
+      t.stats.Pdb_kvs.Engine_stats.sstables_examined + 1
+  in
+  let l0_iters =
+    List.map
+      (fun m ->
+        let reader = Pdb_sstable.Table_cache.find t.table_cache m in
+        (* wrap to charge per positioning *)
+        let it =
+          Table.iterator reader ~cache:t.block_cache ~hint:Device.Random_read
+        in
+        {
+          it with
+          Iter.seek =
+            (fun k ->
+              on_table ();
+              it.Iter.seek k);
+          seek_to_first =
+            (fun () ->
+              on_table ();
+              it.Iter.seek_to_first ());
+        })
+      t.levels.(0)
+  in
+  let level_iters =
+    List.filter_map
+      (fun level ->
+        match t.levels.(level) with
+        | [] -> None
+        | files ->
+          Some
+            (Pdb_sstable.Level_iter.create ~cache:t.table_cache
+               ~block_cache:t.block_cache ~hint:Device.Random_read ~on_table
+               (Array.of_list files)))
+      (List.init (t.opts.O.max_levels - 1) (fun i -> i + 1))
+  in
+  Pdb_kvs.Merging_iter.create ~compare:Ik.compare
+    ((Pdb_kvs.Memtable.iterator t.mem :: l0_iters) @ level_iters)
+
+(* LevelDB also compacts in response to repeated seeks (a file's
+   allowed_seeks budget); modeled here as draining level 0 after a run of
+   consecutive seeks, which is where seek cost concentrates. *)
+let note_seek t =
+  t.stats.Pdb_kvs.Engine_stats.seeks <- t.stats.Pdb_kvs.Engine_stats.seeks + 1;
+  charge_cpu t (t.opts.O.op_overhead_read_ns +. t.opts.O.cpu_per_op_ns);
+  if t.opts.O.seek_based_compaction then begin
+    t.consecutive_seeks <- t.consecutive_seeks + 1;
+    if
+      t.consecutive_seeks >= t.opts.O.seek_compaction_threshold
+      && t.levels.(0) <> []
+    then begin
+      t.consecutive_seeks <- 0;
+      compact_level t 0
+    end
+  end
+
+let iterator ?snapshot t =
+  assert (not t.closed);
+  let db = Pdb_kvs.Db_iter.wrap ?snapshot (internal_iterator t) in
+  {
+    db with
+    Iter.seek =
+      (fun k ->
+        note_seek t;
+        db.Iter.seek k);
+    seek_to_first =
+      (fun () ->
+        note_seek t;
+        db.Iter.seek_to_first ());
+    next =
+      (fun () ->
+        t.stats.Pdb_kvs.Engine_stats.nexts <-
+          t.stats.Pdb_kvs.Engine_stats.nexts + 1;
+        charge_cpu t t.opts.O.cpu_per_op_ns;
+        db.Iter.next ());
+  }
+
+(* ---------- maintenance ---------- *)
+
+let compact_all t =
+  flush_memtable t;
+  (* push every populated level into the next, top-down, as LevelDB's
+     manual CompactRange does *)
+  for level = 0 to t.opts.O.max_levels - 2 do
+    while t.levels.(level) <> [] do
+      let inputs_lo = t.levels.(level) in
+      let smallest, largest = input_user_range inputs_lo in
+      let inputs_hi = overlapping_files t (level + 1) ~smallest ~largest in
+      let outputs =
+        Clock.with_background t.clock (fun () ->
+            run_merge t ~inputs_lo ~inputs_hi ~target_level:(level + 1))
+      in
+      install_compaction t ~level ~inputs_lo ~inputs_hi ~outputs
+    done
+  done;
+  gc_obsolete t
+
+let memory_bytes t =
+  Pdb_kvs.Memtable.approximate_bytes t.mem
+  + Pdb_sstable.Block_cache.used t.block_cache
+  + Pdb_sstable.Table_cache.resident_bytes t.table_cache
+
+let describe t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "lsm store (%s)\n" t.opts.O.name);
+  Array.iteri
+    (fun level files ->
+      if files <> [] then begin
+        Buffer.add_string buf
+          (Printf.sprintf "  level %d (%d files, %d bytes):\n" level
+             (List.length files) (level_bytes t level));
+        List.iter
+          (fun (m : Table.meta) ->
+            Buffer.add_string buf
+              (Printf.sprintf "    #%d [%s .. %s] %dB\n" m.Table.number
+                 (Ik.user_key m.Table.smallest)
+                 (Ik.user_key m.Table.largest)
+                 m.Table.file_size))
+          files
+      end)
+    t.levels;
+  Buffer.contents buf
+
+let check_invariants t =
+  (* L0 ordered newest-first by file number *)
+  let rec check_l0 = function
+    | (a : Table.meta) :: (b : Table.meta) :: rest ->
+      if a.Table.number <= b.Table.number then
+        failwith "lsm invariant: L0 not newest-first";
+      check_l0 (b :: rest)
+    | [ _ ] | [] -> ()
+  in
+  check_l0 t.levels.(0);
+  (* levels >= 1: sorted and disjoint *)
+  for level = 1 to t.opts.O.max_levels - 1 do
+    let rec check = function
+      | (a : Table.meta) :: (b : Table.meta) :: rest ->
+        if Ik.compare a.Table.largest b.Table.smallest >= 0 then
+          failwith
+            (Printf.sprintf "lsm invariant: level %d files overlap" level);
+        check (b :: rest)
+      | [ _ ] | [] -> ()
+    in
+    check t.levels.(level)
+  done;
+  (* every listed file exists *)
+  Array.iter
+    (List.iter (fun (m : Table.meta) ->
+         if not (Env.exists t.env (Table.file_name ~dir:t.dir m.Table.number))
+         then failwith "lsm invariant: missing sstable file"))
+    t.levels
+
+(* number of files per level, for tests and experiments *)
+let level_file_counts t = Array.map List.length t.levels
+let level_sizes t = Array.init t.opts.O.max_levels (level_bytes t)
+let sstable_metas t = Array.to_list t.levels |> List.concat

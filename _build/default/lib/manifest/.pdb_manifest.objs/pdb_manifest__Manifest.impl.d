@@ -1,0 +1,1 @@
+lib/manifest/manifest.ml: Buffer Filename List Pdb_simio Pdb_sstable Pdb_util Pdb_wal Printf String

@@ -1,0 +1,1 @@
+lib/manifest/repair.ml: Filename List Manifest Pdb_kvs Pdb_simio Pdb_sstable String

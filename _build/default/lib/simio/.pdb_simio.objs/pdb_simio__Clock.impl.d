@@ -1,0 +1,1 @@
+lib/simio/clock.ml: Float Fun

@@ -1,0 +1,1 @@
+lib/simio/device.ml:

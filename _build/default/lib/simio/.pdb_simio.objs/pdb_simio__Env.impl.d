@@ -1,0 +1,1 @@
+lib/simio/env.ml: Bytes Clock Device Hashtbl Io_stats List Printf String

@@ -1,0 +1,1 @@
+lib/simio/env.mli: Clock Device Io_stats

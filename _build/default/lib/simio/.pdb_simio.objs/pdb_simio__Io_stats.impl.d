@@ -1,0 +1,1 @@
+lib/simio/io_stats.ml: Fmt

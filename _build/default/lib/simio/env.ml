@@ -1,0 +1,172 @@
+(** Simulated storage environment: an in-memory file system with IO
+    accounting, device-time charging and crash simulation.
+
+    This stands in for the paper's ext4-on-SSD testbed.  Every store in the
+    repository performs all of its IO through an [Env.t], so byte counts
+    (write amplification) and modeled device time are directly comparable
+    across engines.
+
+    Durability model: [append] buffers data; [sync] makes the current file
+    contents crash-durable.  {!crash} truncates every file back to its last
+    synced length (and removes never-synced empty files), after which stores
+    exercise their recovery paths.  [rename] is atomic and durable, matching
+    the way LevelDB-family stores install a new MANIFEST via CURRENT. *)
+
+type file = {
+  mutable data : Bytes.t;
+  mutable len : int;
+  mutable synced : int;
+}
+
+type t = {
+  files : (string, file) Hashtbl.t;
+  stats : Io_stats.t;
+  device : Device.t;
+  clock : Clock.t;
+}
+
+type writer = { env : t; name : string; file : file }
+
+let create ?(device = Device.ssd ()) () =
+  {
+    files = Hashtbl.create 64;
+    stats = Io_stats.create ();
+    device;
+    clock = Clock.create ();
+  }
+
+let stats t = t.stats
+let device t = t.device
+let clock t = t.clock
+
+let find t name =
+  match Hashtbl.find_opt t.files name with
+  | Some f -> f
+  | None -> raise (Sys_error (name ^ ": no such simulated file"))
+
+(** [create_file t name] opens [name] for appending, truncating any existing
+    contents. *)
+let create_file t name =
+  let file = { data = Bytes.create 4096; len = 0; synced = 0 } in
+  Hashtbl.replace t.files name file;
+  t.stats.files_created <- t.stats.files_created + 1;
+  { env = t; name; file }
+
+(** [append w s] appends [s]; charges sequential write cost. *)
+let append w s =
+  let n = String.length s in
+  if n > 0 then begin
+    let f = w.file in
+    let cap = Bytes.length f.data in
+    if f.len + n > cap then begin
+      let newcap = max (f.len + n) (2 * cap) in
+      let bigger = Bytes.create newcap in
+      Bytes.blit f.data 0 bigger 0 f.len;
+      f.data <- bigger
+    end;
+    Bytes.blit_string s 0 f.data f.len n;
+    f.len <- f.len + n;
+    let st = w.env.stats in
+    st.bytes_written <- st.bytes_written + n;
+    st.write_ops <- st.write_ops + 1;
+    Clock.advance w.env.clock (Device.write_cost w.env.device ~bytes:n)
+  end
+
+(** [sync w] makes the file contents durable. *)
+let sync w =
+  w.file.synced <- w.file.len;
+  w.env.stats.syncs <- w.env.stats.syncs + 1;
+  Clock.advance w.env.clock (Device.sync_cost w.env.device)
+
+(** [close w] closes the writer (contents remain; unsynced data stays
+    volatile until the next [sync] on a new writer or a crash). *)
+let close (_ : writer) = ()
+
+let writer_size w = w.file.len
+
+(** [write_at t name ~pos s] overwrites bytes at [pos] (extending the file
+    with zeroes as needed) — the random-write path used by the page-based
+    B+-tree stores.  Positioned writes are treated as immediately durable
+    (page stores are assumed to carry their own journaling; see
+    DESIGN.md). *)
+let write_at t name ~pos s =
+  let f =
+    match Hashtbl.find_opt t.files name with
+    | Some f -> f
+    | None ->
+      let f = { data = Bytes.create 4096; len = 0; synced = 0 } in
+      Hashtbl.replace t.files name f;
+      t.stats.files_created <- t.stats.files_created + 1;
+      f
+  in
+  let n = String.length s in
+  let needed = pos + n in
+  let cap = Bytes.length f.data in
+  if needed > cap then begin
+    let bigger = Bytes.create (max needed (2 * cap)) in
+    Bytes.blit f.data 0 bigger 0 f.len;
+    Bytes.fill bigger f.len (max needed (2 * cap) - f.len) '\000';
+    f.data <- bigger
+  end;
+  if pos > f.len then Bytes.fill f.data f.len (pos - f.len) '\000';
+  Bytes.blit_string s 0 f.data pos n;
+  f.len <- max f.len needed;
+  f.synced <- f.len;
+  t.stats.bytes_written <- t.stats.bytes_written + n;
+  t.stats.write_ops <- t.stats.write_ops + 1;
+  (* positioned page writes pay a random-IO style setup like reads do *)
+  Clock.advance t.clock
+    (Device.read_cost t.device ~hint:Device.Random_read ~bytes:0
+     +. Device.write_cost t.device ~bytes:n)
+
+let exists t name = Hashtbl.mem t.files name
+
+let file_size t name = (find t name).len
+
+(** [read t name ~pos ~len ~hint] reads a range, charging device cost per
+    the read [hint].  Cached layers above this module avoid calling it for
+    cache hits. *)
+let read t name ~pos ~len ~hint =
+  let f = find t name in
+  if pos < 0 || len < 0 || pos + len > f.len then
+    invalid_arg
+      (Printf.sprintf "Env.read %s: [%d,%d) out of bounds (size %d)" name pos
+         (pos + len) f.len);
+  t.stats.bytes_read <- t.stats.bytes_read + len;
+  t.stats.read_ops <- t.stats.read_ops + 1;
+  Clock.advance t.clock (Device.read_cost t.device ~hint ~bytes:len);
+  Bytes.sub_string f.data pos len
+
+let read_all t name ~hint =
+  let f = find t name in
+  read t name ~pos:0 ~len:f.len ~hint
+
+let delete t name =
+  if Hashtbl.mem t.files name then begin
+    Hashtbl.remove t.files name;
+    t.stats.files_deleted <- t.stats.files_deleted + 1
+  end
+
+(** [rename t ~src ~dst] atomically (and durably) renames a file. *)
+let rename t ~src ~dst =
+  let f = find t src in
+  Hashtbl.remove t.files src;
+  Hashtbl.replace t.files dst f
+
+let list t = Hashtbl.fold (fun name _ acc -> name :: acc) t.files []
+
+(** Total bytes stored across all files — used for space-amplification
+    measurements (Figure 5.3). *)
+let total_file_bytes t =
+  Hashtbl.fold (fun _ f acc -> acc + f.len) t.files 0
+
+(** [crash t] simulates a power failure: every file loses its unsynced
+    suffix; files that never reached a sync disappear. *)
+let crash t =
+  let doomed = ref [] in
+  Hashtbl.iter
+    (fun name f ->
+      if f.synced = 0 then doomed := name :: !doomed
+      else f.len <- f.synced)
+    t.files;
+  List.iter (fun name -> Hashtbl.remove t.files name) !doomed

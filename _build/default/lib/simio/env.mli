@@ -1,0 +1,71 @@
+(** Simulated storage environment: an in-memory file system with IO
+    accounting, device-time charging and crash simulation.
+
+    This stands in for the paper's ext4-on-SSD testbed.  Every store in the
+    repository performs all of its IO through an [Env.t], so byte counts
+    (write amplification) and modeled device time are directly comparable
+    across engines.
+
+    Durability model: {!append} buffers data; {!sync} makes the current
+    file contents crash-durable.  {!crash} truncates every file back to
+    its last synced length (and removes never-synced files), after which
+    stores exercise their recovery paths.  {!rename} is atomic and
+    durable, matching how LevelDB-family stores install a new MANIFEST via
+    CURRENT.  Positioned writes ({!write_at}, used by the page stores) are
+    immediately durable — page engines carry their own journaling. *)
+
+type t
+
+(** An open append handle. *)
+type writer
+
+val create : ?device:Device.t -> unit -> t
+
+val stats : t -> Io_stats.t
+val device : t -> Device.t
+val clock : t -> Clock.t
+
+(** [create_file t name] opens [name] for appending, truncating any
+    existing contents. *)
+val create_file : t -> string -> writer
+
+(** [append w s] appends [s]; charges sequential write cost. *)
+val append : writer -> string -> unit
+
+(** [sync w] makes the file contents crash-durable; charges fsync cost. *)
+val sync : writer -> unit
+
+val close : writer -> unit
+val writer_size : writer -> int
+
+(** [write_at t name ~pos s] overwrites bytes at [pos], extending the file
+    with zeroes as needed; charges random-write cost. *)
+val write_at : t -> string -> pos:int -> string -> unit
+
+val exists : t -> string -> bool
+
+(** @raise Sys_error when the file does not exist. *)
+val file_size : t -> string -> int
+
+(** [read t name ~pos ~len ~hint] reads a range, charging device cost per
+    the read [hint].
+    @raise Invalid_argument on an out-of-bounds range.
+    @raise Sys_error when the file does not exist. *)
+val read : t -> string -> pos:int -> len:int -> hint:Device.read_hint -> string
+
+val read_all : t -> string -> hint:Device.read_hint -> string
+val delete : t -> string -> unit
+
+(** [rename t ~src ~dst] atomically (and durably) renames a file. *)
+val rename : t -> src:string -> dst:string -> unit
+
+(** All live file names (unordered). *)
+val list : t -> string list
+
+(** Total bytes stored across all files — the space-amplification
+    numerator (Figure 5.3). *)
+val total_file_bytes : t -> int
+
+(** [crash t] simulates a power failure: every file loses its unsynced
+    suffix; files that never reached a sync disappear. *)
+val crash : t -> unit

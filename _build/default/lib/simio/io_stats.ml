@@ -1,0 +1,63 @@
+(** Cumulative IO counters for one simulated environment.
+
+    Write amplification (Figure 1.1, Figure 5.1a, the YCSB Total-IO bars) is
+    computed directly from these counters: it is [bytes_written] divided by
+    the total user payload handed to the store. *)
+
+type t = {
+  mutable bytes_written : int;
+  mutable bytes_read : int;
+  mutable write_ops : int;
+  mutable read_ops : int;
+  mutable syncs : int;
+  mutable files_created : int;
+  mutable files_deleted : int;
+}
+
+let create () =
+  {
+    bytes_written = 0;
+    bytes_read = 0;
+    write_ops = 0;
+    read_ops = 0;
+    syncs = 0;
+    files_created = 0;
+    files_deleted = 0;
+  }
+
+let reset t =
+  t.bytes_written <- 0;
+  t.bytes_read <- 0;
+  t.write_ops <- 0;
+  t.read_ops <- 0;
+  t.syncs <- 0;
+  t.files_created <- 0;
+  t.files_deleted <- 0
+
+let snapshot t =
+  {
+    bytes_written = t.bytes_written;
+    bytes_read = t.bytes_read;
+    write_ops = t.write_ops;
+    read_ops = t.read_ops;
+    syncs = t.syncs;
+    files_created = t.files_created;
+    files_deleted = t.files_deleted;
+  }
+
+(** [diff later earlier] is the per-field difference — convenient for
+    measuring one experiment phase. *)
+let diff a b =
+  {
+    bytes_written = a.bytes_written - b.bytes_written;
+    bytes_read = a.bytes_read - b.bytes_read;
+    write_ops = a.write_ops - b.write_ops;
+    read_ops = a.read_ops - b.read_ops;
+    syncs = a.syncs - b.syncs;
+    files_created = a.files_created - b.files_created;
+    files_deleted = a.files_deleted - b.files_deleted;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "written=%dB read=%dB wops=%d rops=%d syncs=%d" t.bytes_written
+    t.bytes_read t.write_ops t.read_ops t.syncs

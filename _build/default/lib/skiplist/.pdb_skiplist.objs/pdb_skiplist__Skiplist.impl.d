@@ -1,0 +1,1 @@
+lib/skiplist/skiplist.ml: Array List Option Pdb_util

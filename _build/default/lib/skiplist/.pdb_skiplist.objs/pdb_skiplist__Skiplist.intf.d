@@ -1,0 +1,1 @@
+lib/skiplist/skiplist.mli:

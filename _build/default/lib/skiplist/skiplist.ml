@@ -1,0 +1,161 @@
+(** Probabilistic skip list.
+
+    The memtable substrate (LSM puts go "to an in-memory skip list called
+    the memtable", §2.2) and the conceptual ancestor of FLSM guards: a key
+    that reaches height [h] appears in every list up to [h], just as a key
+    chosen as a guard at level [i] is a guard at every level deeper than
+    [i].
+
+    Keys are ordered by a user-supplied comparator.  Entries are
+    append-only: a duplicate insert adds a new node (memtables rely on the
+    internal-key comparator making duplicates distinct via sequence
+    numbers). *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  value : 'v;
+  forward : ('k, 'v) node option array;
+}
+
+type ('k, 'v) t = {
+  compare : 'k -> 'k -> int;
+  max_height : int;
+  rng : Pdb_util.Rng.t;
+  mutable head : ('k, 'v) node; (* sentinel; key/value unused *)
+  mutable height : int;
+  mutable length : int;
+}
+
+let branching = 4
+
+let create ?(max_height = 12) ?(seed = 0x5eed) ~compare dummy_key dummy_value =
+  let head =
+    { key = dummy_key; value = dummy_value;
+      forward = Array.make max_height None }
+  in
+  {
+    compare;
+    max_height;
+    rng = Pdb_util.Rng.create seed;
+    head;
+    height = 1;
+    length = 0;
+  }
+
+let length t = t.length
+
+let random_height t =
+  let rec go h =
+    if h < t.max_height && Pdb_util.Rng.int t.rng branching = 0 then go (h + 1)
+    else h
+  in
+  go 1
+
+(* Find, for each list level, the last node whose key is < [key]. *)
+let find_predecessors t key =
+  let prev = Array.make t.max_height t.head in
+  let rec descend node level =
+    let next = node.forward.(level) in
+    match next with
+    | Some n when t.compare n.key key < 0 -> descend n level
+    | _ ->
+      prev.(level) <- node;
+      if level > 0 then descend node (level - 1)
+  in
+  descend t.head (t.height - 1);
+  prev
+
+(** [insert t key value] adds an entry; duplicates are kept (newest is
+    reachable first only through comparator design, so memtable comparators
+    must order duplicates deterministically). *)
+let insert t key value =
+  let prev = find_predecessors t key in
+  let h = random_height t in
+  if h > t.height then begin
+    for level = t.height to h - 1 do
+      prev.(level) <- t.head
+    done;
+    t.height <- h
+  end;
+  let node = { key; value; forward = Array.make h None } in
+  for level = 0 to h - 1 do
+    node.forward.(level) <- prev.(level).forward.(level);
+    prev.(level).forward.(level) <- Some node
+  done;
+  t.length <- t.length + 1
+
+(** [seek t key] is the first entry with key >= [key], or [None]. *)
+let seek t key =
+  let prev = find_predecessors t key in
+  match prev.(0).forward.(0) with
+  | Some n -> Some (n.key, n.value)
+  | None -> None
+
+(** [find t key] is the value of the smallest entry >= [key] whose key
+    compares equal to [key]. *)
+let find t key =
+  match seek t key with
+  | Some (k, v) when t.compare k key = 0 -> Some v
+  | Some _ | None -> None
+
+let mem t key = Option.is_some (find t key)
+
+(** [min_entry t] / [max_entry t] are the smallest / largest entries. *)
+let min_entry t =
+  match t.head.forward.(0) with
+  | Some n -> Some (n.key, n.value)
+  | None -> None
+
+let max_entry t =
+  let rec descend node level =
+    match node.forward.(level) with
+    | Some n -> descend n level
+    | None -> if level = 0 then node else descend node (level - 1)
+  in
+  let last = descend t.head (t.height - 1) in
+  if last == t.head then None else Some (last.key, last.value)
+
+(** [iter t f] applies [f] to every entry in key order. *)
+let iter t f =
+  let rec go = function
+    | Some n ->
+      f n.key n.value;
+      go n.forward.(0)
+    | None -> ()
+  in
+  go t.head.forward.(0)
+
+let fold t f acc =
+  let acc = ref acc in
+  iter t (fun k v -> acc := f !acc k v);
+  !acc
+
+let to_list t = List.rev (fold t (fun acc k v -> (k, v) :: acc) [])
+
+(** Forward-only cursor over the list, used by memtable iterators. *)
+module Cursor = struct
+  type ('k, 'v) cursor = {
+    list : ('k, 'v) t;
+    mutable node : ('k, 'v) node option;
+  }
+
+  let make list = { list; node = None }
+
+  let seek_to_first c = c.node <- c.list.head.forward.(0)
+
+  let seek c key =
+    let prev = find_predecessors c.list key in
+    c.node <- prev.(0).forward.(0)
+
+  let valid c = Option.is_some c.node
+
+  let entry c =
+    match c.node with
+    | Some n -> (n.key, n.value)
+    | None -> invalid_arg "Skiplist.Cursor.entry: invalid cursor"
+
+  let next c =
+    match c.node with
+    | Some n -> c.node <- n.forward.(0)
+    | None -> ()
+end

@@ -1,0 +1,1 @@
+lib/sstable/block.ml: Buffer List Option Pdb_kvs Pdb_util String

@@ -1,0 +1,1 @@
+lib/sstable/block_cache.ml: Block Pdb_simio Pdb_util Printf

@@ -1,0 +1,1 @@
+lib/sstable/level_iter.ml: Array Option Pdb_kvs Table Table_cache

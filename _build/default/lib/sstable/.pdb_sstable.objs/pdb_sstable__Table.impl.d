@@ -1,0 +1,1 @@
+lib/sstable/table.ml: Block Block_cache Buffer List Option Pdb_bloom Pdb_kvs Pdb_simio Pdb_util Printf String

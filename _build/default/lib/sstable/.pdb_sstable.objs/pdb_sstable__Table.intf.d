@@ -1,0 +1,1 @@
+lib/sstable/table.mli: Block_cache Pdb_kvs Pdb_simio

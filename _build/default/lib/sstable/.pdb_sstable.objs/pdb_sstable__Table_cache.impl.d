@@ -1,0 +1,1 @@
+lib/sstable/table_cache.ml: Pdb_simio Pdb_util Table

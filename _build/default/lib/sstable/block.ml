@@ -1,0 +1,165 @@
+(** Sstable data/index blocks with prefix compression and restart points
+    (LevelDB block format).
+
+    Entry: [varint shared | varint non_shared | varint value_len |
+    key_delta | value].  Every [restart_interval] entries the full key is
+    stored and its offset recorded in the restart array, enabling binary
+    search within the block. *)
+
+let restart_interval = 16
+
+module Builder = struct
+  type t = {
+    buf : Buffer.t;
+    mutable restarts : int list; (* reversed *)
+    mutable counter : int;
+    mutable last_key : string;
+    mutable entries : int;
+  }
+
+  let create () =
+    { buf = Buffer.create 4096; restarts = [ 0 ]; counter = 0;
+      last_key = ""; entries = 0 }
+
+  let shared_prefix_len a b =
+    let n = min (String.length a) (String.length b) in
+    let i = ref 0 in
+    while !i < n && a.[!i] = b.[!i] do
+      incr i
+    done;
+    !i
+
+  (** [add t key value] appends an entry; keys must arrive in strictly
+      ascending order under the table's comparator. *)
+  let add t key value =
+    let shared =
+      if t.counter < restart_interval then shared_prefix_len t.last_key key
+      else begin
+        t.restarts <- Buffer.length t.buf :: t.restarts;
+        t.counter <- 0;
+        0
+      end
+    in
+    let non_shared = String.length key - shared in
+    Pdb_util.Varint.put_uvarint t.buf shared;
+    Pdb_util.Varint.put_uvarint t.buf non_shared;
+    Pdb_util.Varint.put_uvarint t.buf (String.length value);
+    Buffer.add_substring t.buf key shared non_shared;
+    Buffer.add_string t.buf value;
+    t.last_key <- key;
+    t.counter <- t.counter + 1;
+    t.entries <- t.entries + 1
+
+  let current_size_estimate t =
+    Buffer.length t.buf + (4 * List.length t.restarts) + 4
+
+  let is_empty t = t.entries = 0
+
+  (** [finish t] returns the serialised block. *)
+  let finish t =
+    let restarts = List.rev t.restarts in
+    List.iter (fun off -> Pdb_util.Varint.put_fixed32 t.buf off) restarts;
+    Pdb_util.Varint.put_fixed32 t.buf (List.length restarts);
+    Buffer.contents t.buf
+
+  let reset t =
+    Buffer.clear t.buf;
+    t.restarts <- [ 0 ];
+    t.counter <- 0;
+    t.last_key <- "";
+    t.entries <- 0
+end
+
+(** Decoded view over a serialised block. *)
+type t = {
+  data : string;
+  restarts_offset : int;
+  num_restarts : int;
+}
+
+let decode data =
+  let len = String.length data in
+  if len < 4 then invalid_arg "Block.decode: too short";
+  let num_restarts = Pdb_util.Varint.get_fixed32 data (len - 4) in
+  let restarts_offset = len - 4 - (4 * num_restarts) in
+  if restarts_offset < 0 then invalid_arg "Block.decode: corrupt restarts";
+  { data; restarts_offset; num_restarts }
+
+let size_bytes t = String.length t.data
+
+let restart_point t i =
+  Pdb_util.Varint.get_fixed32 t.data (t.restarts_offset + (4 * i))
+
+(* Decode the entry at [pos]; returns (key, value, next_pos).  [prev_key]
+   supplies the shared prefix. *)
+let decode_entry t ~prev_key pos =
+  let shared, pos = Pdb_util.Varint.get_uvarint t.data pos in
+  let non_shared, pos = Pdb_util.Varint.get_uvarint t.data pos in
+  let value_len, pos = Pdb_util.Varint.get_uvarint t.data pos in
+  let key = String.sub prev_key 0 shared ^ String.sub t.data pos non_shared in
+  let pos = pos + non_shared in
+  let value = String.sub t.data pos value_len in
+  (key, value, pos + value_len)
+
+(** [iterator ~compare t] walks the block's entries.  [compare] orders the
+    stored keys (internal-key order for data blocks). *)
+let iterator ~compare t =
+  (* [cur] is the current entry; [next_pos] the offset of the entry after
+     it.  The first entry after a restart point has shared = 0, so decoding
+     with the running previous key is always correct. *)
+  let cur = ref None in
+  let next_pos = ref t.restarts_offset in
+  let advance () =
+    if !next_pos >= t.restarts_offset then cur := None
+    else begin
+      let prev_key = match !cur with Some (k, _) -> k | None -> "" in
+      let k, v, next = decode_entry t ~prev_key !next_pos in
+      cur := Some (k, v);
+      next_pos := next
+    end
+  in
+  let seek_to_restart i =
+    next_pos := restart_point t i;
+    cur := None;
+    advance ()
+  in
+  let seek_to_first () =
+    if t.num_restarts = 0 then cur := None else seek_to_restart 0
+  in
+  let seek target =
+    if t.num_restarts = 0 then cur := None
+    else begin
+      (* last restart whose first key is < target *)
+      let lo = ref 0 and hi = ref (t.num_restarts - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        let k, _, _ = decode_entry t ~prev_key:"" (restart_point t mid) in
+        if compare k target < 0 then lo := mid else hi := mid - 1
+      done;
+      seek_to_restart !lo;
+      let rec scan () =
+        match !cur with
+        | Some (k, _) when compare k target < 0 ->
+          advance ();
+          scan ()
+        | Some _ | None -> ()
+      in
+      scan ()
+    end
+  in
+  let entry () =
+    match !cur with
+    | Some e -> e
+    | None -> invalid_arg "Block.iterator: iterator is not valid"
+  in
+  {
+    Pdb_kvs.Iter.seek_to_first;
+    seek;
+    next = (fun () -> if Option.is_some !cur then advance ());
+    valid = (fun () -> Option.is_some !cur);
+    key = (fun () -> fst (entry ()));
+    value = (fun () -> snd (entry ()));
+  }
+
+(** [entries ~compare t] decodes the whole block in order — test helper. *)
+let entries ~compare t = Pdb_kvs.Iter.to_list (iterator ~compare t)

@@ -1,0 +1,30 @@
+(** Shared block cache: decoded blocks keyed by (file, offset), weighted by
+    block size.  A cache hit costs no device time — only the modeled CPU the
+    engine charges — which is how "the lower levels are usually cached in
+    memory" (§2.2) and the low-memory experiment (Figure 5.2b) are
+    expressed. *)
+
+type key = { file : string; offset : int }
+
+type t = (string, Block.t) Pdb_util.Lru.t
+
+let create ~capacity : t = Pdb_util.Lru.create ~capacity
+
+let key_string (k : key) = Printf.sprintf "%s:%d" k.file k.offset
+
+(** [find_or_load t env ~file ~offset ~size ~hint] returns the decoded
+    block, reading it from the environment (and charging device time) only
+    on a miss. *)
+let find_or_load (t : t) env ~file ~offset ~size ~hint =
+  let k = key_string { file; offset } in
+  match Pdb_util.Lru.find t k with
+  | Some block -> (block, `Hit)
+  | None ->
+    let raw = Pdb_simio.Env.read env file ~pos:offset ~len:size ~hint in
+    let block = Block.decode raw in
+    Pdb_util.Lru.insert t k block ~weight:size;
+    (block, `Miss)
+
+let used = Pdb_util.Lru.used
+let hits = Pdb_util.Lru.hits
+let misses = Pdb_util.Lru.misses

@@ -1,0 +1,357 @@
+(** Sstables: immutable sorted tables of internal-key/value entries.
+
+    Layout: data blocks, then an optional bloom-filter block over user keys
+    (PebblesDB's sstable-level filters, §4.1), then an index block mapping
+    each data block's last key to its (offset, size) handle, then a fixed
+    footer.  Entries are written once, in internal-key order, and never
+    updated in place. *)
+
+type handle = { offset : int; size : int }
+
+let encode_handle buf h =
+  Pdb_util.Varint.put_uvarint buf h.offset;
+  Pdb_util.Varint.put_uvarint buf h.size
+
+let decode_handle s pos =
+  let offset, pos = Pdb_util.Varint.get_uvarint s pos in
+  let size, pos = Pdb_util.Varint.get_uvarint s pos in
+  ({ offset; size }, pos)
+
+let footer_size = 28
+let magic = 0x50454242 (* "PEBB" *)
+
+(** Summary of a finished table, recorded in the MANIFEST. *)
+type meta = {
+  number : int;
+  file_size : int;
+  entries : int;
+  smallest : string; (* encoded internal key *)
+  largest : string;
+}
+
+let file_name ~dir number = Printf.sprintf "%s/%06d.sst" dir number
+
+module Builder = struct
+  type t = {
+    env : Pdb_simio.Env.t;
+    writer : Pdb_simio.Env.writer;
+    file : string;
+    number : int;
+    block_bytes : int;
+    mutable offset : int;
+    data : Block.Builder.t;
+    index : (string * handle) list ref; (* reversed *)
+    filter : Pdb_bloom.Bloom.t option;
+    mutable smallest : string option;
+    mutable largest : string;
+    mutable entries : int;
+    mutable last_user_key : string option;
+  }
+
+  (** [create env ~dir ~number ~block_bytes ~bloom ~expected_keys] starts a
+      new table file.  [bloom = true] attaches a per-table filter sized for
+      [expected_keys]. *)
+  let create env ~dir ~number ~block_bytes ~bloom ~expected_keys =
+    let name = file_name ~dir number in
+    {
+      env;
+      writer = Pdb_simio.Env.create_file env name;
+      file = name;
+      number;
+      block_bytes;
+      offset = 0;
+      data = Block.Builder.create ();
+      index = ref [];
+      filter =
+        (if bloom then Some (Pdb_bloom.Bloom.create (max 16 expected_keys))
+         else None);
+      smallest = None;
+      largest = "";
+      entries = 0;
+      last_user_key = None;
+    }
+
+  let write_block t builder =
+    let raw = Block.Builder.finish builder in
+    Pdb_simio.Env.append t.writer raw;
+    let h = { offset = t.offset; size = String.length raw } in
+    t.offset <- t.offset + String.length raw;
+    Block.Builder.reset builder;
+    h
+
+  let flush_data_block t =
+    if not (Block.Builder.is_empty t.data) then begin
+      let last_key = t.largest in
+      let h = write_block t t.data in
+      t.index := (last_key, h) :: !(t.index)
+    end
+
+  (** [add t ikey value] appends an entry; internal keys must arrive in
+      ascending order. *)
+  let add t ikey value =
+    if t.smallest = None then t.smallest <- Some ikey;
+    t.largest <- ikey;
+    t.entries <- t.entries + 1;
+    (match t.filter with
+     | Some f ->
+       (* one filter probe key per distinct user key *)
+       let uk = Pdb_kvs.Internal_key.user_key ikey in
+       if t.last_user_key <> Some uk then begin
+         Pdb_bloom.Bloom.add f uk;
+         t.last_user_key <- Some uk
+       end
+     | None -> ());
+    Block.Builder.add t.data ikey value;
+    if Block.Builder.current_size_estimate t.data >= t.block_bytes then
+      flush_data_block t
+
+  let estimated_size t =
+    t.offset + Block.Builder.current_size_estimate t.data
+
+  let entry_count t = t.entries
+
+  (** [finish t] writes filter, index and footer, syncs the file, and
+      returns the table's metadata.  Empty builders produce no file and
+      return [None]. *)
+  let finish t =
+    if t.entries = 0 then begin
+      Pdb_simio.Env.close t.writer;
+      Pdb_simio.Env.delete t.env t.file;
+      None
+    end
+    else begin
+      flush_data_block t;
+      (* filter block *)
+      let filter_handle =
+        match t.filter with
+        | Some f ->
+          let raw = Pdb_bloom.Bloom.encode f in
+          Pdb_simio.Env.append t.writer raw;
+          let h = { offset = t.offset; size = String.length raw } in
+          t.offset <- t.offset + String.length raw;
+          h
+        | None -> { offset = 0; size = 0 }
+      in
+      (* index block *)
+      let index_builder = Block.Builder.create () in
+      List.iter
+        (fun (last_key, h) ->
+          let buf = Buffer.create 10 in
+          encode_handle buf h;
+          Block.Builder.add index_builder last_key (Buffer.contents buf))
+        (List.rev !(t.index));
+      let index_handle = write_block t index_builder in
+      (* footer *)
+      let buf = Buffer.create footer_size in
+      Pdb_util.Varint.put_fixed32 buf filter_handle.offset;
+      Pdb_util.Varint.put_fixed32 buf filter_handle.size;
+      Pdb_util.Varint.put_fixed32 buf index_handle.offset;
+      Pdb_util.Varint.put_fixed32 buf index_handle.size;
+      Pdb_util.Varint.put_fixed32 buf t.entries;
+      Pdb_util.Varint.put_fixed32 buf magic;
+      Pdb_util.Varint.put_fixed32 buf 0 (* padding to footer_size *);
+      Pdb_simio.Env.append t.writer (Buffer.contents buf);
+      t.offset <- t.offset + footer_size;
+      Pdb_simio.Env.sync t.writer;
+      Pdb_simio.Env.close t.writer;
+      match t.smallest with
+      | None -> assert false
+      | Some smallest ->
+        Some
+          {
+            number = t.number;
+            file_size = t.offset;
+            entries = t.entries;
+            smallest;
+            largest = t.largest;
+          }
+    end
+end
+
+(** An open table: index block and filter resident in memory (the paper's
+    cached index blocks); data blocks go through the shared block cache. *)
+type reader = {
+  env : Pdb_simio.Env.t;
+  name : string;
+  meta : meta;
+  index : Block.t;
+  filter : Pdb_bloom.Bloom.t option;
+}
+
+let ikey_compare = Pdb_kvs.Internal_key.compare
+
+(** [open_reader ?hint env ~dir meta] opens a table, reading footer, index
+    and filter.  Cold point-lookups pay three random reads; compaction
+    passes [~hint:Sequential_read] since it streams its freshly-written
+    inputs. *)
+let open_reader ?(hint = Pdb_simio.Device.Random_read) env ~dir (meta : meta) =
+  let name = file_name ~dir meta.number in
+  let size = Pdb_simio.Env.file_size env name in
+  let footer =
+    Pdb_simio.Env.read env name ~pos:(size - footer_size) ~len:footer_size
+      ~hint
+  in
+  let filter_off = Pdb_util.Varint.get_fixed32 footer 0 in
+  let filter_size = Pdb_util.Varint.get_fixed32 footer 4 in
+  let index_off = Pdb_util.Varint.get_fixed32 footer 8 in
+  let index_size = Pdb_util.Varint.get_fixed32 footer 12 in
+  let stored_magic = Pdb_util.Varint.get_fixed32 footer 20 in
+  if stored_magic <> magic then
+    failwith (Printf.sprintf "Table.open_reader %s: bad magic" name);
+  let index =
+    Block.decode
+      (Pdb_simio.Env.read env name ~pos:index_off ~len:index_size ~hint)
+  in
+  let filter =
+    if filter_size = 0 then None
+    else
+      Some
+        (Pdb_bloom.Bloom.decode
+           (Pdb_simio.Env.read env name ~pos:filter_off ~len:filter_size
+              ~hint))
+  in
+  { env; name; meta; index; filter }
+
+(** [may_contain r user_key] consults the table's bloom filter; [true] when
+    no filter is attached. *)
+let may_contain r user_key =
+  match r.filter with
+  | Some f -> Pdb_bloom.Bloom.mem f user_key
+  | None -> true
+
+let has_filter r = Option.is_some r.filter
+
+(** In-memory footprint of the open table (index + filter), for Table 5.4. *)
+let resident_bytes r =
+  Block.size_bytes r.index
+  + (match r.filter with Some f -> Pdb_bloom.Bloom.size_bytes f | None -> 0)
+
+(* Locate the handle of the block that may contain [ikey]. *)
+let find_block_handle r ikey =
+  let it = Block.iterator ~compare:ikey_compare r.index in
+  it.Pdb_kvs.Iter.seek ikey;
+  if it.Pdb_kvs.Iter.valid () then
+    let h, _ = decode_handle (it.Pdb_kvs.Iter.value ()) 0 in
+    Some h
+  else None
+
+(** [get r ~cache ~hint ikey] returns the first entry with internal key >=
+    [ikey], reading at most one data block. *)
+let get r ~cache ~hint ikey =
+  match find_block_handle r ikey with
+  | None -> None
+  | Some h ->
+    let block, _ =
+      Block_cache.find_or_load cache r.env ~file:r.name ~offset:h.offset
+        ~size:h.size ~hint
+    in
+    let it = Block.iterator ~compare:ikey_compare block in
+    it.Pdb_kvs.Iter.seek ikey;
+    if it.Pdb_kvs.Iter.valid () then
+      Some (it.Pdb_kvs.Iter.key (), it.Pdb_kvs.Iter.value ())
+    else None
+
+(** [iterator r ~cache ~hint] is a two-level iterator over the table. *)
+let iterator r ~cache ~hint =
+  let index_it = Block.iterator ~compare:ikey_compare r.index in
+  let data_it = ref None in
+  let load_block () =
+    if index_it.Pdb_kvs.Iter.valid () then begin
+      let h, _ = decode_handle (index_it.Pdb_kvs.Iter.value ()) 0 in
+      let block, _ =
+        Block_cache.find_or_load cache r.env ~file:r.name ~offset:h.offset
+          ~size:h.size ~hint
+      in
+      data_it := Some (Block.iterator ~compare:ikey_compare block)
+    end
+    else data_it := None
+  in
+  let skip_exhausted () =
+    let rec go () =
+      match !data_it with
+      | Some it when not (it.Pdb_kvs.Iter.valid ()) ->
+        index_it.Pdb_kvs.Iter.next ();
+        load_block ();
+        (match !data_it with
+         | Some it2 ->
+           it2.Pdb_kvs.Iter.seek_to_first ();
+           go ()
+         | None -> ())
+      | Some _ | None -> ()
+    in
+    go ()
+  in
+  let current () =
+    match !data_it with
+    | Some it when it.Pdb_kvs.Iter.valid () -> Some it
+    | Some _ | None -> None
+  in
+  {
+    Pdb_kvs.Iter.seek_to_first =
+      (fun () ->
+        index_it.Pdb_kvs.Iter.seek_to_first ();
+        load_block ();
+        (match !data_it with
+         | Some it -> it.Pdb_kvs.Iter.seek_to_first ()
+         | None -> ());
+        skip_exhausted ());
+    seek =
+      (fun target ->
+        index_it.Pdb_kvs.Iter.seek target;
+        load_block ();
+        (match !data_it with
+         | Some it -> it.Pdb_kvs.Iter.seek target
+         | None -> ());
+        skip_exhausted ());
+    next =
+      (fun () ->
+        (match current () with
+         | Some it -> it.Pdb_kvs.Iter.next ()
+         | None -> ());
+        skip_exhausted ());
+    valid = (fun () -> Option.is_some (current ()));
+    key =
+      (fun () ->
+        match current () with
+        | Some it -> it.Pdb_kvs.Iter.key ()
+        | None -> invalid_arg "Table.iterator: iterator is not valid");
+    value =
+      (fun () ->
+        match current () with
+        | Some it -> it.Pdb_kvs.Iter.value ()
+        | None -> invalid_arg "Table.iterator: iterator is not valid");
+  }
+
+(** [recover_meta env ~dir ~number] reconstructs a table's metadata from
+    the file alone — the repair path when the MANIFEST is lost.  Reads the
+    footer and index, and the first data block for the smallest key; the
+    largest key is the index's final entry. *)
+let recover_meta env ~dir ~number =
+  let name = file_name ~dir number in
+  let file_size = Pdb_simio.Env.file_size env name in
+  let probe =
+    { number; file_size; entries = 0; smallest = ""; largest = "" }
+  in
+  let reader = open_reader ~hint:Pdb_simio.Device.Sequential_read env ~dir probe in
+  (* entry count lives in the footer *)
+  let footer =
+    Pdb_simio.Env.read env name ~pos:(file_size - footer_size)
+      ~len:footer_size ~hint:Pdb_simio.Device.Sequential_read
+  in
+  let entries = Pdb_util.Varint.get_fixed32 footer 16 in
+  let index_it = Block.iterator ~compare:ikey_compare reader.index in
+  index_it.Pdb_kvs.Iter.seek_to_first ();
+  let largest = ref "" in
+  while index_it.Pdb_kvs.Iter.valid () do
+    largest := index_it.Pdb_kvs.Iter.key ();
+    index_it.Pdb_kvs.Iter.next ()
+  done;
+  let cache = Block_cache.create ~capacity:(1 lsl 16) in
+  let it =
+    iterator reader ~cache ~hint:Pdb_simio.Device.Sequential_read
+  in
+  it.Pdb_kvs.Iter.seek_to_first ();
+  if not (it.Pdb_kvs.Iter.valid ()) then
+    failwith (Printf.sprintf "Table.recover_meta %s: empty table" name);
+  { number; file_size; entries; smallest = it.Pdb_kvs.Iter.key ();
+    largest = !largest }

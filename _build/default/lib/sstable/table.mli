@@ -1,0 +1,83 @@
+(** Sstables: immutable sorted tables of internal-key/value entries.
+
+    Layout: data blocks, then an optional bloom-filter block over user keys
+    (PebblesDB's sstable-level filters, §4.1), then an index block mapping
+    each data block's last key to its (offset, size) handle, then a fixed
+    footer.  Entries are written once, in internal-key order, and never
+    updated in place. *)
+
+type handle = { offset : int; size : int }
+
+val footer_size : int
+
+(** Summary of a finished table, recorded in the MANIFEST. *)
+type meta = {
+  number : int;
+  file_size : int;
+  entries : int;
+  smallest : string;  (** encoded internal key *)
+  largest : string;
+}
+
+val file_name : dir:string -> int -> string
+
+module Builder : sig
+  type t
+
+  (** [create env ~dir ~number ~block_bytes ~bloom ~expected_keys] starts a
+      new table file.  [bloom = true] attaches a per-table filter sized for
+      [expected_keys]. *)
+  val create :
+    Pdb_simio.Env.t -> dir:string -> number:int -> block_bytes:int ->
+    bloom:bool -> expected_keys:int -> t
+
+  (** [add t ikey value] appends an entry; internal keys must arrive in
+      ascending order. *)
+  val add : t -> string -> string -> unit
+
+  val estimated_size : t -> int
+  val entry_count : t -> int
+
+  (** [finish t] writes filter, index and footer, syncs the file, and
+      returns the table's metadata; an empty builder deletes its file and
+      returns [None]. *)
+  val finish : t -> meta option
+end
+
+(** An open table: index block and filter resident in memory (the paper's
+    cached index blocks); data blocks go through the shared block cache. *)
+type reader
+
+(** [open_reader ?hint env ~dir meta] opens a table, reading footer, index
+    and filter.  Cold point-lookups pay three random reads; compaction
+    passes [~hint:Sequential_read] since it streams its freshly-written
+    inputs.
+    @raise Failure on a bad magic number. *)
+val open_reader :
+  ?hint:Pdb_simio.Device.read_hint -> Pdb_simio.Env.t -> dir:string -> meta ->
+  reader
+
+(** [may_contain r user_key] consults the table's bloom filter; [true] when
+    no filter is attached. *)
+val may_contain : reader -> string -> bool
+
+val has_filter : reader -> bool
+
+(** In-memory footprint of the open table (index + filter), for Table 5.4. *)
+val resident_bytes : reader -> int
+
+(** [get r ~cache ~hint ikey] returns the first entry with internal key >=
+    [ikey], reading at most one data block. *)
+val get :
+  reader -> cache:Block_cache.t -> hint:Pdb_simio.Device.read_hint -> string ->
+  (string * string) option
+
+(** [iterator r ~cache ~hint] is a two-level iterator over the table. *)
+val iterator :
+  reader -> cache:Block_cache.t -> hint:Pdb_simio.Device.read_hint ->
+  Pdb_kvs.Iter.t
+
+(** [recover_meta env ~dir ~number] reconstructs a table's metadata from
+    the file alone — the repair path when the MANIFEST is lost.
+    @raise Failure on an empty or unreadable table. *)
+val recover_meta : Pdb_simio.Env.t -> dir:string -> number:int -> meta

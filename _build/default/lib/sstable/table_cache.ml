@@ -1,0 +1,41 @@
+(** Table cache: a bounded set of open table readers.
+
+    The paper attributes PebblesDB's read advantage (§5.2 "Random Writes
+    and Reads", §5.3 Workload C) to its fewer, larger sstables: the stores
+    "cache a limited number of sstable index blocks (default: 1000)", so a
+    store with many small files suffers index-block cache misses.  This
+    cache models exactly that: opening an evicted table re-reads its
+    footer, index and filter from storage. *)
+
+type t = {
+  env : Pdb_simio.Env.t;
+  dir : string;
+  cache : (string, Table.reader) Pdb_util.Lru.t;
+}
+
+let create env ~dir ~entries =
+  { env; dir; cache = Pdb_util.Lru.create ~capacity:entries }
+
+let key number = string_of_int number
+
+(** [find t meta] returns the open reader for [meta], opening (and charging
+    IO for) it if not cached. *)
+let find t (meta : Table.meta) =
+  match Pdb_util.Lru.find t.cache (key meta.Table.number) with
+  | Some reader -> reader
+  | None ->
+    let reader = Table.open_reader t.env ~dir:t.dir meta in
+    Pdb_util.Lru.insert t.cache (key meta.Table.number) reader ~weight:1;
+    reader
+
+(** [evict t number] drops a table (called when its file is deleted after
+    compaction). *)
+let evict t number = Pdb_util.Lru.remove t.cache (key number)
+
+(** Modeled resident memory of all cached tables' indexes and filters. *)
+let resident_bytes t =
+  Pdb_util.Lru.fold t.cache
+    (fun acc _ reader -> acc + Table.resident_bytes reader)
+    0
+
+let open_tables t = Pdb_util.Lru.length t.cache

@@ -1,0 +1,1 @@
+lib/util/crc32c.ml: Array Char String

@@ -1,0 +1,39 @@
+(** CRC-32C (Castagnoli) checksums, as used by LevelDB's log and table
+    formats.  Software table-driven implementation; the table is computed
+    once at module initialisation. *)
+
+let polynomial = 0x82F63B78 (* reversed Castagnoli polynomial *)
+
+let table =
+  let t = Array.make 256 0 in
+  for i = 0 to 255 do
+    let c = ref i in
+    for _ = 0 to 7 do
+      if !c land 1 = 1 then c := (!c lsr 1) lxor polynomial
+      else c := !c lsr 1
+    done;
+    t.(i) <- !c
+  done;
+  t
+
+(** [update crc s pos len] extends checksum [crc] with [s.[pos .. pos+len-1]]. *)
+let update crc s pos len =
+  let crc = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    crc := table.((!crc lxor Char.code s.[i]) land 0xff) lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+(** [string s] is the CRC-32C of the whole string. *)
+let string s = update 0 s 0 (String.length s)
+
+(** [masked crc] applies LevelDB's mask so that checksums of data that itself
+    contains checksums do not collide trivially. *)
+let masked crc =
+  let rotated = ((crc lsr 15) lor (crc lsl 17)) land 0xFFFFFFFF in
+  (rotated + 0xa282ead8) land 0xFFFFFFFF
+
+(** [unmask m] inverts {!masked}. *)
+let unmask m =
+  let rotated = (m - 0xa282ead8) land 0xFFFFFFFF in
+  ((rotated lsr 17) lor (rotated lsl 15)) land 0xFFFFFFFF

@@ -1,0 +1,120 @@
+(** Request-key distributions used by the YCSB workload generator.
+
+    Implemented from the YCSB paper / reference generator: uniform, zipfian
+    (incrementally extensible), scrambled zipfian (spreads the hot set over
+    the key space) and latest (zipfian over recency). *)
+
+type t =
+  | Uniform of { rng : Rng.t; mutable n : int }
+  | Zipfian of zipf
+  | Scrambled of zipf
+  | Latest of zipf
+
+and zipf = {
+  zrng : Rng.t;
+  theta : float;
+  mutable items : int;
+  mutable zetan : float; (* zeta(items, theta) *)
+  mutable alpha : float;
+  mutable eta : float;
+  zeta2theta : float;
+}
+
+let default_theta = 0.99
+
+let zeta n theta =
+  let s = ref 0.0 in
+  for i = 1 to n do
+    s := !s +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !s
+
+let make_zipf rng n theta =
+  let zetan = zeta n theta in
+  let zeta2theta = zeta 2 theta in
+  {
+    zrng = rng;
+    theta;
+    items = n;
+    zetan;
+    alpha = 1.0 /. (1.0 -. theta);
+    eta = (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+          /. (1.0 -. (zeta2theta /. zetan));
+    zeta2theta;
+  }
+
+(* Incrementally extend zeta when the item count grows (YCSB's trick for the
+   "latest" distribution, where inserts grow the key space). *)
+let grow_zipf z n =
+  if n > z.items then begin
+    let s = ref z.zetan in
+    for i = z.items + 1 to n do
+      s := !s +. (1.0 /. Float.pow (float_of_int i) z.theta)
+    done;
+    z.zetan <- !s;
+    z.items <- n;
+    z.eta <-
+      (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. z.theta))
+      /. (1.0 -. (z.zeta2theta /. z.zetan))
+  end
+
+let next_zipf z =
+  let u = Rng.float z.zrng in
+  let uz = u *. z.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. Float.pow 0.5 z.theta then 1
+  else
+    let v =
+      float_of_int z.items
+      *. Float.pow ((z.eta *. u) -. z.eta +. 1.0) z.alpha
+    in
+    min (z.items - 1) (int_of_float v)
+
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let fnv64 v =
+  let open Int64 in
+  let h = ref fnv_offset in
+  let v = ref (of_int v) in
+  for _ = 0 to 7 do
+    let octet = logand !v 0xffL in
+    h := mul (logxor !h octet) fnv_prime;
+    v := shift_right_logical !v 8
+  done;
+  to_int (shift_right_logical !h 1) land Stdlib.max_int
+
+(** [uniform ~seed n] draws keys uniformly from [\[0, n)]. *)
+let uniform ~seed n = Uniform { rng = Rng.create seed; n }
+
+(** [zipfian ~seed n] draws keys zipf-distributed with the hot keys at the
+    low indices. *)
+let zipfian ?(theta = default_theta) ~seed n =
+  Zipfian (make_zipf (Rng.create seed) n theta)
+
+(** [scrambled_zipfian ~seed n] spreads a zipfian hot set uniformly across
+    [\[0, n)] — YCSB's default request distribution. *)
+let scrambled_zipfian ?(theta = default_theta) ~seed n =
+  Scrambled (make_zipf (Rng.create seed) n theta)
+
+(** [latest ~seed n] favours recently inserted keys (key [n-1] hottest). *)
+let latest ?(theta = default_theta) ~seed n =
+  Latest (make_zipf (Rng.create seed) n theta)
+
+(** [next t] draws the next key index. *)
+let next t =
+  match t with
+  | Uniform u -> Rng.int u.rng u.n
+  | Zipfian z -> next_zipf z
+  | Scrambled z ->
+    let v = next_zipf z in
+    fnv64 v mod z.items
+  | Latest z ->
+    let v = next_zipf z in
+    z.items - 1 - v
+
+(** [set_item_count t n] grows the key space (after inserts). *)
+let set_item_count t n =
+  match t with
+  | Uniform u -> u.n <- max u.n n
+  | Zipfian z | Scrambled z | Latest z -> grow_zipf z n

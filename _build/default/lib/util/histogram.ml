@@ -1,0 +1,76 @@
+(** Value histograms with percentile queries.
+
+    Used by the benchmark harness (e.g. Table 5.1's sstable size
+    distribution) and by latency reporting.  Values are stored exactly and
+    sorted lazily; suitable for the dataset sizes in this reproduction. *)
+
+type t = {
+  mutable values : float array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { values = Array.make 64 0.0; len = 0; sorted = true }
+
+let clear t =
+  t.len <- 0;
+  t.sorted <- true
+
+(** [add t v] records one observation. *)
+let add t v =
+  if t.len = Array.length t.values then begin
+    let bigger = Array.make (2 * t.len) 0.0 in
+    Array.blit t.values 0 bigger 0 t.len;
+    t.values <- bigger
+  end;
+  t.values.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let count t = t.len
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.values 0 t.len in
+    Array.sort compare live;
+    Array.blit live 0 t.values 0 t.len;
+    t.sorted <- true
+  end
+
+let mean t =
+  if t.len = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      sum := !sum +. t.values.(i)
+    done;
+    !sum /. float_of_int t.len
+  end
+
+(** [percentile t p] is the [p]-th percentile ([0 <= p <= 100]) using
+    nearest-rank; 0 when empty. *)
+let percentile t p =
+  if t.len = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) in
+    let idx = max 0 (min (t.len - 1) (rank - 1)) in
+    t.values.(idx)
+  end
+
+let median t = percentile t 50.0
+let max_value t = percentile t 100.0
+
+let min_value t =
+  if t.len = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    t.values.(0)
+  end
+
+let sum t =
+  let s = ref 0.0 in
+  for i = 0 to t.len - 1 do
+    s := !s +. t.values.(i)
+  done;
+  !s

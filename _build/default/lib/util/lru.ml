@@ -1,0 +1,128 @@
+(** Weighted LRU cache.
+
+    Backs the block cache and table cache in the sstable substrate.  Each
+    entry carries an integer weight (bytes); inserting past [capacity]
+    evicts least-recently-used entries.  Implemented as a hash table over an
+    intrusive doubly-linked list. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  value : 'v;
+  weight : int;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option; (* most recently used *)
+  mutable tail : ('k, 'v) node option; (* least recently used *)
+  mutable used : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  {
+    capacity;
+    table = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    used = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> ());
+  t.head <- Some node;
+  if t.tail = None then t.tail <- Some node
+
+let evict_one t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key;
+    t.used <- t.used - node.weight;
+    t.evictions <- t.evictions + 1
+
+(** [find t k] returns the cached value and promotes it to most recent. *)
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    Some node.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+(** [mem t k] tests presence without affecting recency or hit counters. *)
+let mem t k = Hashtbl.mem t.table k
+
+(** [insert t k v ~weight] adds or replaces an entry, evicting as needed.
+    Entries heavier than the whole capacity are not cached. *)
+let insert t k v ~weight =
+  if weight <= t.capacity then begin
+    (match Hashtbl.find_opt t.table k with
+     | Some old ->
+       unlink t old;
+       Hashtbl.remove t.table k;
+       t.used <- t.used - old.weight
+     | None -> ());
+    let node = { key = k; value = v; weight; prev = None; next = None } in
+    Hashtbl.replace t.table k node;
+    push_front t node;
+    t.used <- t.used + weight;
+    while t.used > t.capacity do
+      evict_one t
+    done
+  end
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table k;
+    t.used <- t.used - node.weight
+  | None -> ()
+
+let used t = t.used
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+(** [fold t f acc] folds over entries from most to least recently used
+    without affecting recency. *)
+let fold t f acc =
+  let rec go node acc =
+    match node with
+    | None -> acc
+    | Some n -> go n.next (f acc n.key n.value)
+  in
+  go t.head acc
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.used <- 0

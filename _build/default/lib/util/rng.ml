@@ -1,0 +1,53 @@
+(** Deterministic, seedable pseudo-random number generator.
+
+    Every randomized component in this repository (guard selection aside,
+    which is hash-based) draws from an explicit [Rng.t] so that experiments
+    and property tests are reproducible.  The generator is splitmix64, which
+    has good statistical quality for simulation purposes and needs only one
+    word of state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step: returns a uniformly distributed 64-bit value. *)
+let next64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** [int t bound] is a uniform integer in [\[0, bound)]. Requires [bound > 0]. *)
+let int t bound =
+  assert (bound > 0);
+  let v = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  v mod bound
+
+(** [float t] is a uniform float in [\[0, 1)]. *)
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+(** [bytes t n] is a string of [n] uniformly random bytes. *)
+let bytes t n =
+  String.init n (fun _ -> Char.chr (int t 256))
+
+(** [alpha t n] is a string of [n] random lowercase letters — convenient for
+    printable test values. *)
+let alpha t n =
+  String.init n (fun _ -> Char.chr (Char.code 'a' + int t 26))
+
+(** [shuffle t a] permutes array [a] in place (Fisher-Yates). *)
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,74 @@
+(** Variable-length and fixed-width integer coding.
+
+    The on-storage formats (sstable blocks, WAL records, MANIFEST edits) use
+    LevelDB-compatible little-endian fixed32/fixed64 and base-128 varints. *)
+
+(** [put_uvarint buf n] appends the base-128 varint encoding of [n] (which
+    must be non-negative) to [buf]. *)
+let put_uvarint buf n =
+  assert (n >= 0);
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+(** [get_uvarint s pos] decodes a varint from [s] starting at [pos]; returns
+    [(value, next_pos)].  Raises [Invalid_argument] on truncated input. *)
+let get_uvarint s pos =
+  let len = String.length s in
+  let rec go pos shift acc =
+    if pos >= len then invalid_arg "Varint.get_uvarint: truncated"
+    else
+      let b = Char.code s.[pos] in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b < 0x80 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0
+
+let put_fixed32 buf n =
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
+let get_fixed32 s pos =
+  if pos + 4 > String.length s then invalid_arg "Varint.get_fixed32: truncated";
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let put_fixed64 buf n =
+  let open Int64 in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (to_int (logand (shift_right_logical n (8 * i)) 0xffL)))
+  done
+
+let get_fixed64 s pos =
+  if pos + 8 > String.length s then invalid_arg "Varint.get_fixed64: truncated";
+  let acc = ref 0L in
+  for i = 7 downto 0 do
+    acc :=
+      Int64.logor
+        (Int64.shift_left !acc 8)
+        (Int64.of_int (Char.code s.[pos + i]))
+  done;
+  !acc
+
+(** [put_length_prefixed buf s] appends [s] preceded by its varint length. *)
+let put_length_prefixed buf s =
+  put_uvarint buf (String.length s);
+  Buffer.add_string buf s
+
+(** [get_length_prefixed s pos] decodes a varint-length-prefixed slice;
+    returns [(slice, next_pos)]. *)
+let get_length_prefixed s pos =
+  let n, pos = get_uvarint s pos in
+  if pos + n > String.length s then
+    invalid_arg "Varint.get_length_prefixed: truncated";
+  (String.sub s pos n, pos + n)

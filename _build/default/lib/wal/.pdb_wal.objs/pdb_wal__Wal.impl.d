@@ -1,0 +1,1 @@
+lib/wal/wal.ml: Buffer Char List Pdb_simio Pdb_util String

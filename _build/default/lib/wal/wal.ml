@@ -1,0 +1,155 @@
+(** Record-oriented write-ahead log (LevelDB log format).
+
+    The log is a sequence of 32 KB blocks; records are framed with
+    [crc32c(4) | length(2) | type(1)] headers and fragmented across block
+    boundaries with FIRST/MIDDLE/LAST record types.  Both the WAL proper
+    (memtable recovery) and the MANIFEST (version-edit recovery) use this
+    format.  The reader stops cleanly at a truncated or corrupt tail — the
+    expected state after a crash. *)
+
+let block_size = 32 * 1024
+let header_size = 7
+
+type record_type = Full | First | Middle | Last
+
+let type_to_int = function Full -> 1 | First -> 2 | Middle -> 3 | Last -> 4
+
+let type_of_int = function
+  | 1 -> Some Full
+  | 2 -> Some First
+  | 3 -> Some Middle
+  | 4 -> Some Last
+  | _ -> None
+
+module Writer = struct
+  type t = {
+    writer : Pdb_simio.Env.writer;
+    mutable block_offset : int;
+  }
+
+  let create env name =
+    { writer = Pdb_simio.Env.create_file env name; block_offset = 0 }
+
+  let of_writer writer ~existing_bytes =
+    { writer; block_offset = existing_bytes mod block_size }
+
+  let emit t rtype fragment =
+    let buf = Buffer.create (header_size + String.length fragment) in
+    let body =
+      let b = Buffer.create (1 + String.length fragment) in
+      Buffer.add_char b (Char.chr (type_to_int rtype));
+      Buffer.add_string b fragment;
+      Buffer.contents b
+    in
+    let crc = Pdb_util.Crc32c.masked (Pdb_util.Crc32c.string body) in
+    Pdb_util.Varint.put_fixed32 buf crc;
+    Buffer.add_char buf (Char.chr (String.length fragment land 0xff));
+    Buffer.add_char buf (Char.chr ((String.length fragment lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (type_to_int rtype));
+    Buffer.add_string buf fragment;
+    Pdb_simio.Env.append t.writer (Buffer.contents buf);
+    t.block_offset <- t.block_offset + header_size + String.length fragment
+
+  (** [add_record t payload] appends one logical record, fragmenting across
+      block boundaries as needed. *)
+  let add_record t payload =
+    let len = String.length payload in
+    let pos = ref 0 in
+    let first = ref true in
+    let continue = ref true in
+    while !continue do
+      let leftover = block_size - t.block_offset in
+      if leftover < header_size then begin
+        (* pad the block tail with zeroes *)
+        if leftover > 0 then begin
+          Pdb_simio.Env.append t.writer (String.make leftover '\000');
+          t.block_offset <- t.block_offset + leftover
+        end;
+        t.block_offset <- 0
+      end
+      else begin
+        let avail = block_size - t.block_offset - header_size in
+        let fragment_len = min avail (len - !pos) in
+        let is_last = !pos + fragment_len = len in
+        let rtype =
+          match (!first, is_last) with
+          | true, true -> Full
+          | true, false -> First
+          | false, true -> Last
+          | false, false -> Middle
+        in
+        emit t rtype (String.sub payload !pos fragment_len);
+        if t.block_offset >= block_size then t.block_offset <- 0;
+        pos := !pos + fragment_len;
+        first := false;
+        if is_last then continue := false
+      end
+    done
+
+  let sync t = Pdb_simio.Env.sync t.writer
+  let close t = Pdb_simio.Env.close t.writer
+  let size t = Pdb_simio.Env.writer_size t.writer
+end
+
+module Reader = struct
+  (** [read_all env name] returns the complete records recoverable from the
+      log, in order, silently dropping a corrupt/truncated tail. *)
+  let read_all env name =
+    let data =
+      Pdb_simio.Env.read_all env name ~hint:Pdb_simio.Device.Sequential_read
+    in
+    let len = String.length data in
+    let records = ref [] in
+    let partial = Buffer.create 256 in
+    let in_fragmented = ref false in
+    let pos = ref 0 in
+    let corrupt = ref false in
+    while (not !corrupt) && !pos + header_size <= len do
+      let block_left = block_size - (!pos mod block_size) in
+      if block_left < header_size then pos := !pos + block_left
+      else begin
+        let stored_crc = Pdb_util.Varint.get_fixed32 data !pos in
+        let flen =
+          Char.code data.[!pos + 4] lor (Char.code data.[!pos + 5] lsl 8)
+        in
+        let tbyte = Char.code data.[!pos + 6] in
+        if tbyte = 0 && flen = 0 && stored_crc = 0 then
+          (* zero padding: skip to next block *)
+          pos := !pos + block_left
+        else if !pos + header_size + flen > len then corrupt := true
+        else
+          match type_of_int tbyte with
+          | None -> corrupt := true
+          | Some rtype ->
+            let body =
+              String.sub data (!pos + 6) (1 + flen)
+              (* type byte + fragment, as covered by the CRC *)
+            in
+            let crc = Pdb_util.Crc32c.masked (Pdb_util.Crc32c.string body) in
+            if crc <> stored_crc then corrupt := true
+            else begin
+              let fragment = String.sub data (!pos + header_size) flen in
+              (match rtype with
+               | Full ->
+                 if !in_fragmented then Buffer.clear partial;
+                 in_fragmented := false;
+                 records := fragment :: !records
+               | First ->
+                 Buffer.clear partial;
+                 Buffer.add_string partial fragment;
+                 in_fragmented := true
+               | Middle ->
+                 if !in_fragmented then Buffer.add_string partial fragment
+               | Last ->
+                 if !in_fragmented then begin
+                   Buffer.add_string partial fragment;
+                   records := Buffer.contents partial :: !records;
+                   Buffer.clear partial;
+                   in_fragmented := false
+                 end);
+              pos := !pos + header_size + flen
+            end
+      end
+    done;
+    List.rev !records
+end

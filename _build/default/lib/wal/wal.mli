@@ -1,0 +1,41 @@
+(** Record-oriented write-ahead log (LevelDB log format).
+
+    The log is a sequence of 32 KB blocks; records are framed with
+    [crc32c(4) | length(2) | type(1)] headers and fragmented across block
+    boundaries with FIRST/MIDDLE/LAST record types.  Both the WAL proper
+    (memtable recovery) and the MANIFEST (version-edit recovery) use this
+    format. *)
+
+val block_size : int
+val header_size : int
+
+type record_type = Full | First | Middle | Last
+
+val type_to_int : record_type -> int
+val type_of_int : int -> record_type option
+
+module Writer : sig
+  type t
+
+  (** [create env name] starts a fresh log file. *)
+  val create : Pdb_simio.Env.t -> string -> t
+
+  (** [of_writer w ~existing_bytes] continues appending to an existing
+      file, keeping block alignment. *)
+  val of_writer : Pdb_simio.Env.writer -> existing_bytes:int -> t
+
+  (** [add_record t payload] appends one logical record, fragmenting
+      across block boundaries as needed. *)
+  val add_record : t -> string -> unit
+
+  val sync : t -> unit
+  val close : t -> unit
+  val size : t -> int
+end
+
+module Reader : sig
+  (** [read_all env name] returns the complete records recoverable from
+      the log, in order, silently dropping a corrupt or truncated tail —
+      the expected state after a crash. *)
+  val read_all : Pdb_simio.Env.t -> string -> string list
+end

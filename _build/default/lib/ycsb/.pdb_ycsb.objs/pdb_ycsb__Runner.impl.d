@@ -1,0 +1,1 @@
+lib/ycsb/runner.ml: Int64 Pdb_kvs Pdb_simio Pdb_util Printf Workload

@@ -1,0 +1,1 @@
+lib/ycsb/trace.ml: Buffer List Pdb_kvs Pdb_util Pdb_wal Printf Runner String Workload

@@ -1,0 +1,1 @@
+lib/ycsb/workload.ml: List Pdb_util String

@@ -1,0 +1,134 @@
+(** YCSB workload runner over any packaged store ({!Pdb_kvs.Store_intf.dyn}).
+
+    Keys follow the YCSB convention of hashing the logical record number so
+    that loads arrive in effectively random key order.  The runner reports
+    modeled throughput (operations over simulated elapsed time) and the IO
+    performed during the phase — the quantities plotted in Figure 5.5. *)
+
+module Dyn = Pdb_kvs.Store_intf
+module Iter = Pdb_kvs.Iter
+module Clock = Pdb_simio.Clock
+
+(* FNV-64 over the record number, hex-rendered: "user" ^ 16 hex chars. *)
+let key_of_record n =
+  let open Int64 in
+  let h = ref 0xCBF29CE484222325L in
+  let v = ref (of_int n) in
+  for _ = 0 to 7 do
+    h := mul (logxor !h (logand !v 0xffL)) 0x100000001B3L;
+    v := shift_right_logical !v 8
+  done;
+  Printf.sprintf "user%016Lx" !h
+
+type result = {
+  phase : string;
+  ops : int;
+  elapsed_ns : float;
+  kops_per_s : float;
+  bytes_written : int;
+  bytes_read : int;
+  reads : int;
+  updates : int;
+  inserts : int;
+  scans : int;
+  rmws : int;
+}
+
+let make_value rng n = Pdb_util.Rng.alpha rng n
+
+(* Measure a phase: simulated elapsed via the clock lanes (threads = the
+   profile's compaction threads), IO via the env counters. *)
+let measure (store : Dyn.dyn) name f =
+  let clock = Pdb_simio.Env.clock store.Dyn.d_env in
+  let io0 = Pdb_simio.Io_stats.snapshot (Pdb_simio.Env.stats store.Dyn.d_env) in
+  let c0 = Clock.snapshot clock in
+  let ops, reads, updates, inserts, scans, rmws = f () in
+  let c1 = Clock.snapshot clock in
+  let io1 = Pdb_simio.Io_stats.snapshot (Pdb_simio.Env.stats store.Dyn.d_env) in
+  let delta = Clock.diff c1 c0 in
+  let elapsed =
+    Clock.elapsed_ns delta
+      ~threads:store.Dyn.d_options.Pdb_kvs.Options.compaction_threads
+  in
+  let io = Pdb_simio.Io_stats.diff io1 io0 in
+  {
+    phase = name;
+    ops;
+    elapsed_ns = elapsed;
+    kops_per_s =
+      (if elapsed <= 0.0 then 0.0
+       else float_of_int ops /. (elapsed /. 1e9) /. 1000.0);
+    bytes_written = io.Pdb_simio.Io_stats.bytes_written;
+    bytes_read = io.Pdb_simio.Io_stats.bytes_read;
+    reads;
+    updates;
+    inserts;
+    scans;
+    rmws;
+  }
+
+(** [load store ~records ~value_bytes ~seed] is the YCSB load phase:
+    insert [records] fresh records. *)
+let load (store : Dyn.dyn) ~records ~value_bytes ~seed =
+  let rng = Pdb_util.Rng.create seed in
+  measure store "load" (fun () ->
+      for n = 0 to records - 1 do
+        store.Dyn.d_put (key_of_record n) (make_value rng value_bytes)
+      done;
+      (records, 0, 0, records, 0, 0))
+
+(** [run store spec ~records ~operations ~value_bytes ~seed] executes the
+    transaction phase of [spec] against a store already loaded with
+    [records] records. *)
+let run (store : Dyn.dyn) (spec : Workload.spec) ~records ~operations
+    ~value_bytes ~seed =
+  let rng = Pdb_util.Rng.create (seed + 17) in
+  let dist =
+    match spec.Workload.dist with
+    | Workload.Zipfian -> Pdb_util.Dist.scrambled_zipfian ~seed records
+    | Workload.Latest -> Pdb_util.Dist.latest ~seed records
+    | Workload.Uniform -> Pdb_util.Dist.uniform ~seed records
+  in
+  let record_count = ref records in
+  let reads = ref 0
+  and updates = ref 0
+  and inserts = ref 0
+  and scans = ref 0
+  and rmws = ref 0 in
+  measure store ("run-" ^ spec.Workload.name) (fun () ->
+      for _ = 1 to operations do
+        match Workload.draw_op spec rng with
+        | Workload.Read ->
+          incr reads;
+          ignore (store.Dyn.d_get (key_of_record (Pdb_util.Dist.next dist)))
+        | Workload.Update ->
+          incr updates;
+          store.Dyn.d_put
+            (key_of_record (Pdb_util.Dist.next dist))
+            (make_value rng value_bytes)
+        | Workload.Insert ->
+          incr inserts;
+          let n = !record_count in
+          incr record_count;
+          store.Dyn.d_put (key_of_record n) (make_value rng value_bytes);
+          Pdb_util.Dist.set_item_count dist !record_count
+        | Workload.Scan ->
+          incr scans;
+          let start = Pdb_util.Dist.next dist in
+          let len = 1 + Pdb_util.Rng.int rng spec.Workload.max_scan_len in
+          let it = store.Dyn.d_iterator () in
+          it.Iter.seek (key_of_record start);
+          let steps = ref 0 in
+          while it.Iter.valid () && !steps < len do
+            ignore (it.Iter.key ());
+            ignore (it.Iter.value ());
+            it.Iter.next ();
+            incr steps
+          done
+        | Workload.Read_modify_write ->
+          incr rmws;
+          let n = Pdb_util.Dist.next dist in
+          ignore (store.Dyn.d_get (key_of_record n));
+          store.Dyn.d_put (key_of_record n) (make_value rng value_bytes)
+      done;
+      (operations, !reads, !updates, !inserts, !scans, !rmws))

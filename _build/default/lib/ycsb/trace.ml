@@ -1,0 +1,168 @@
+(** Workload traces: record an operation stream to a (simulated) file and
+    replay it bit-identically against any store.
+
+    Traces make cross-engine comparisons exact — every engine sees the same
+    operations in the same order, rather than each running its own
+    generator — and let an interesting workload (e.g. a YCSB mix that
+    triggered a corner case) be re-run deterministically.  The format is
+    WAL-framed records, one operation each. *)
+
+module Dyn = Pdb_kvs.Store_intf
+module Iter = Pdb_kvs.Iter
+
+type op =
+  | Put of string * string
+  | Delete of string
+  | Get of string
+  | Scan of string * int  (** start key, number of next() calls *)
+
+let encode_op op =
+  let buf = Buffer.create 64 in
+  (match op with
+   | Put (k, v) ->
+     Buffer.add_char buf 'P';
+     Pdb_util.Varint.put_length_prefixed buf k;
+     Pdb_util.Varint.put_length_prefixed buf v
+   | Delete k ->
+     Buffer.add_char buf 'D';
+     Pdb_util.Varint.put_length_prefixed buf k
+   | Get k ->
+     Buffer.add_char buf 'G';
+     Pdb_util.Varint.put_length_prefixed buf k
+   | Scan (k, n) ->
+     Buffer.add_char buf 'S';
+     Pdb_util.Varint.put_length_prefixed buf k;
+     Pdb_util.Varint.put_uvarint buf n);
+  Buffer.contents buf
+
+let decode_op s =
+  match s.[0] with
+  | 'P' ->
+    let k, pos = Pdb_util.Varint.get_length_prefixed s 1 in
+    let v, _ = Pdb_util.Varint.get_length_prefixed s pos in
+    Put (k, v)
+  | 'D' ->
+    let k, _ = Pdb_util.Varint.get_length_prefixed s 1 in
+    Delete k
+  | 'G' ->
+    let k, _ = Pdb_util.Varint.get_length_prefixed s 1 in
+    Get k
+  | 'S' ->
+    let k, pos = Pdb_util.Varint.get_length_prefixed s 1 in
+    let n, _ = Pdb_util.Varint.get_uvarint s pos in
+    Scan (k, n)
+  | c -> invalid_arg (Printf.sprintf "Trace.decode_op: bad tag %C" c)
+
+(** Streaming trace writer. *)
+module Recorder = struct
+  type t = { log : Pdb_wal.Wal.Writer.t; mutable ops : int }
+
+  let create env name =
+    { log = Pdb_wal.Wal.Writer.create env name; ops = 0 }
+
+  let add t op =
+    Pdb_wal.Wal.Writer.add_record t.log (encode_op op);
+    t.ops <- t.ops + 1
+
+  let close t =
+    Pdb_wal.Wal.Writer.sync t.log;
+    Pdb_wal.Wal.Writer.close t.log;
+    t.ops
+end
+
+(** [read env name] loads a trace. *)
+let read env name =
+  List.map decode_op (Pdb_wal.Wal.Reader.read_all env name)
+
+(** [record_ycsb env name spec ~records ~operations ~value_bytes ~seed]
+    writes the load phase plus the transaction phase of a YCSB workload as
+    a trace (the store is never touched). *)
+let record_ycsb env name (spec : Workload.spec) ~records ~operations
+    ~value_bytes ~seed =
+  let rec_ = Recorder.create env name in
+  let rng = Pdb_util.Rng.create seed in
+  for n = 0 to records - 1 do
+    Recorder.add rec_
+      (Put (Runner.key_of_record n, Pdb_util.Rng.alpha rng value_bytes))
+  done;
+  let dist =
+    match spec.Workload.dist with
+    | Workload.Zipfian -> Pdb_util.Dist.scrambled_zipfian ~seed records
+    | Workload.Latest -> Pdb_util.Dist.latest ~seed records
+    | Workload.Uniform -> Pdb_util.Dist.uniform ~seed records
+  in
+  let count = ref records in
+  for _ = 1 to operations do
+    match Workload.draw_op spec rng with
+    | Workload.Read ->
+      Recorder.add rec_ (Get (Runner.key_of_record (Pdb_util.Dist.next dist)))
+    | Workload.Update ->
+      Recorder.add rec_
+        (Put
+           ( Runner.key_of_record (Pdb_util.Dist.next dist),
+             Pdb_util.Rng.alpha rng value_bytes ))
+    | Workload.Insert ->
+      let n = !count in
+      incr count;
+      Recorder.add rec_
+        (Put (Runner.key_of_record n, Pdb_util.Rng.alpha rng value_bytes));
+      Pdb_util.Dist.set_item_count dist !count
+    | Workload.Scan ->
+      Recorder.add rec_
+        (Scan
+           ( Runner.key_of_record (Pdb_util.Dist.next dist),
+             1 + Pdb_util.Rng.int rng (max 1 spec.Workload.max_scan_len) ))
+    | Workload.Read_modify_write ->
+      let n = Pdb_util.Dist.next dist in
+      Recorder.add rec_ (Get (Runner.key_of_record n));
+      Recorder.add rec_
+        (Put (Runner.key_of_record n, Pdb_util.Rng.alpha rng value_bytes))
+  done;
+  Recorder.close rec_
+
+type replay_result = {
+  ops : int;
+  puts : int;
+  gets : int;
+  deletes : int;
+  scans : int;
+  hits : int;  (** gets that found a value *)
+}
+
+(** [replay trace_env name store] applies a recorded trace to [store]
+    (which may live in a different environment). *)
+let replay trace_env name (store : Dyn.dyn) =
+  let ops = read trace_env name in
+  let puts = ref 0 and gets = ref 0 and deletes = ref 0 in
+  let scans = ref 0 and hits = ref 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Put (k, v) ->
+        incr puts;
+        store.Dyn.d_put k v
+      | Delete k ->
+        incr deletes;
+        store.Dyn.d_delete k
+      | Get k ->
+        incr gets;
+        if store.Dyn.d_get k <> None then incr hits
+      | Scan (k, n) ->
+        incr scans;
+        let it = store.Dyn.d_iterator () in
+        it.Iter.seek k;
+        let steps = ref 0 in
+        while it.Iter.valid () && !steps < n do
+          ignore (it.Iter.key ());
+          it.Iter.next ();
+          incr steps
+        done)
+    ops;
+  {
+    ops = List.length ops;
+    puts = !puts;
+    gets = !gets;
+    deletes = !deletes;
+    scans = !scans;
+    hits = !hits;
+  }

@@ -1,0 +1,131 @@
+(** The Yahoo Cloud Serving Benchmark core workloads (Table 5.3).
+
+    Implemented from the YCSB paper / reference generator: six operation
+    mixes (A-F) over zipfian / latest / uniform request distributions, plus
+    the two load phases (Load A for workloads A-D and F, Load E for E). *)
+
+type op_kind = Read | Update | Insert | Scan | Read_modify_write
+
+type request_dist = Zipfian | Latest | Uniform
+
+type spec = {
+  name : string;
+  description : string;
+  read_prop : float;
+  update_prop : float;
+  insert_prop : float;
+  scan_prop : float;
+  rmw_prop : float;
+  dist : request_dist;
+  max_scan_len : int;
+}
+
+let workload_a =
+  {
+    name = "A";
+    description = "50% reads, 50% updates (session store)";
+    read_prop = 0.5;
+    update_prop = 0.5;
+    insert_prop = 0.0;
+    scan_prop = 0.0;
+    rmw_prop = 0.0;
+    dist = Zipfian;
+    max_scan_len = 0;
+  }
+
+let workload_b =
+  {
+    name = "B";
+    description = "95% reads, 5% updates (photo tagging)";
+    read_prop = 0.95;
+    update_prop = 0.05;
+    insert_prop = 0.0;
+    scan_prop = 0.0;
+    rmw_prop = 0.0;
+    dist = Zipfian;
+    max_scan_len = 0;
+  }
+
+let workload_c =
+  {
+    name = "C";
+    description = "100% reads (caches)";
+    read_prop = 1.0;
+    update_prop = 0.0;
+    insert_prop = 0.0;
+    scan_prop = 0.0;
+    rmw_prop = 0.0;
+    dist = Zipfian;
+    max_scan_len = 0;
+  }
+
+let workload_d =
+  {
+    name = "D";
+    description = "95% reads of latest, 5% inserts (status feed)";
+    read_prop = 0.95;
+    update_prop = 0.0;
+    insert_prop = 0.05;
+    scan_prop = 0.0;
+    rmw_prop = 0.0;
+    dist = Latest;
+    max_scan_len = 0;
+  }
+
+let workload_e =
+  {
+    name = "E";
+    description = "95% range queries, 5% inserts (threaded conversations)";
+    read_prop = 0.0;
+    update_prop = 0.0;
+    insert_prop = 0.05;
+    scan_prop = 0.95;
+    rmw_prop = 0.0;
+    dist = Zipfian;
+    max_scan_len = 100;
+  }
+
+let workload_f =
+  {
+    name = "F";
+    description = "50% reads, 50% read-modify-writes (database)";
+    read_prop = 0.5;
+    update_prop = 0.0;
+    insert_prop = 0.0;
+    scan_prop = 0.0;
+    rmw_prop = 0.5;
+    dist = Zipfian;
+    max_scan_len = 0;
+  }
+
+(** A scans-only variant of E used by §5.3's "only range queries"
+    analysis. *)
+let workload_e_scan_only =
+  {
+    workload_e with
+    name = "E-scan-only";
+    description = "100% range queries";
+    insert_prop = 0.0;
+    scan_prop = 1.0;
+  }
+
+let all = [ workload_a; workload_b; workload_c; workload_d; workload_e;
+            workload_f ]
+
+let by_name name =
+  List.find_opt
+    (fun s -> String.lowercase_ascii s.name = String.lowercase_ascii name)
+    all
+
+(** [draw_op spec rng] picks the next operation kind by the mix. *)
+let draw_op spec rng =
+  let x = Pdb_util.Rng.float rng in
+  if x < spec.read_prop then Read
+  else if x < spec.read_prop +. spec.update_prop then Update
+  else if x < spec.read_prop +. spec.update_prop +. spec.insert_prop then
+    Insert
+  else if
+    x < spec.read_prop +. spec.update_prop +. spec.insert_prop
+        +. spec.scan_prop
+  then Scan
+  else Read_modify_write

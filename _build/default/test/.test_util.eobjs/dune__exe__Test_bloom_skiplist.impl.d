@@ -1,0 +1,1 @@
+test/test_bloom_skiplist.ml: Alcotest List Map Pdb_bloom Pdb_skiplist Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_bloom_skiplist.mli:

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Filename Fun Hashtbl List Pdb_btree Pdb_kvs Pdb_lsm Pdb_simio Pdb_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_guard_props.ml: Alcotest Array Bytes List Pdb_kvs Pdb_simio Pdb_sstable Pdb_util Pebblesdb QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Filename Hashtbl List Pdb_harness Pdb_kvs Pdb_lsm Pdb_manifest Pdb_simio Pdb_util Pdb_ycsb Pebblesdb Printf QCheck QCheck_alcotest String

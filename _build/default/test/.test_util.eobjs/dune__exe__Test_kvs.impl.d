@@ -1,0 +1,1 @@
+test/test_kvs.ml: Alcotest Array Db_iter Internal_key Iter List Memtable Merging_iter Pdb_kvs QCheck QCheck_alcotest String Write_batch

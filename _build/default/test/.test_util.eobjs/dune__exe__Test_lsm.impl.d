@@ -1,0 +1,1 @@
+test/test_lsm.ml: Alcotest Array Fun Hashtbl List Pdb_kvs Pdb_lsm Pdb_simio Pdb_sstable Pdb_util Printf QCheck QCheck_alcotest String

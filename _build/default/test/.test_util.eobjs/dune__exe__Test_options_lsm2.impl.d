@@ -1,0 +1,1 @@
+test/test_options_lsm2.ml: Alcotest Array Fun List Pdb_kvs Pdb_lsm Pdb_simio Pdb_util Printf String

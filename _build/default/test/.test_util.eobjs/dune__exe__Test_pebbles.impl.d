@@ -1,0 +1,1 @@
+test/test_pebbles.ml: Alcotest Array Fun Hashtbl List Pdb_kvs Pdb_lsm Pdb_simio Pdb_sstable Pdb_util Pebblesdb Printf QCheck QCheck_alcotest String

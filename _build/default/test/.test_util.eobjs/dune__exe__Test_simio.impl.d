@@ -1,0 +1,1 @@
+test/test_simio.ml: Alcotest Clock Device Env Io_stats Pdb_simio String

@@ -1,0 +1,1 @@
+test/test_snapshots.ml: Alcotest Hashtbl List Pdb_kvs Pdb_lsm Pdb_simio Pdb_util Pebblesdb Printf QCheck QCheck_alcotest

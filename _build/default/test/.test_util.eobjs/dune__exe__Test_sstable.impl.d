@@ -1,0 +1,1 @@
+test/test_sstable.ml: Alcotest Block Block_cache Level_iter List Map Pdb_kvs Pdb_simio Pdb_sstable Printf QCheck QCheck_alcotest String Table Table_cache

@@ -1,0 +1,1 @@
+test/test_trace_iter.ml: Alcotest Array List Option Pdb_harness Pdb_kvs Pdb_simio Pdb_sstable Pdb_ycsb Pebblesdb QCheck QCheck_alcotest

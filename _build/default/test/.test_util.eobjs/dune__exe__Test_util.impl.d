@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Bytes Char Crc32c Dist Fun Histogram Int64 List Lru Murmur3 Pdb_util Printf QCheck QCheck_alcotest Rng String Varint

@@ -1,0 +1,1 @@
+test/test_wal_manifest.ml: Alcotest Bytes Char List Pdb_manifest Pdb_simio Pdb_sstable Pdb_wal Printf QCheck QCheck_alcotest String

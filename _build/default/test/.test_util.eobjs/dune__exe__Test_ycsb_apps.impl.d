@@ -1,0 +1,1 @@
+test/test_ycsb_apps.ml: Alcotest Hashtbl List Option Pdb_apps Pdb_harness Pdb_kvs Pdb_simio Pdb_util Pdb_ycsb Printf String

@@ -1,0 +1,1 @@
+test/test_ycsb_apps.mli:

@@ -1,0 +1,248 @@
+(* Tests for the B+-tree store and the WiredTiger-like engine. *)
+
+module B = Pdb_btree.Bptree
+module W = Pdb_btree.Wt_store
+module O = Pdb_kvs.Options
+module Env = Pdb_simio.Env
+module Iter = Pdb_kvs.Iter
+
+let check = Alcotest.check
+
+let qtest ?(count = 15) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let tiny_opts () =
+  { (O.leveldb ()) with O.block_bytes = 512; memtable_bytes = 4 * 1024 }
+
+let key i = Printf.sprintf "key%06d" i
+let value i = Printf.sprintf "value-%06d" i
+
+let test_put_get () =
+  let env = Env.create () in
+  let db = B.open_store (tiny_opts ()) ~env ~dir:"bt" in
+  B.put db "b" "2";
+  B.put db "a" "1";
+  check Alcotest.(option string) "a" (Some "1") (B.get db "a");
+  check Alcotest.(option string) "b" (Some "2") (B.get db "b");
+  check Alcotest.(option string) "missing" None (B.get db "zz");
+  B.put db "a" "updated";
+  check Alcotest.(option string) "update in place" (Some "updated")
+    (B.get db "a");
+  check Alcotest.int "count stable on update" 2 (B.count db)
+
+let test_splits_preserve_data () =
+  let env = Env.create () in
+  let db = B.open_store (tiny_opts ()) ~env ~dir:"bt" in
+  let n = 2000 in
+  let perm = Array.init n Fun.id in
+  Pdb_util.Rng.shuffle (Pdb_util.Rng.create 1) perm;
+  Array.iter (fun i -> B.put db (key i) (value i)) perm;
+  B.check_invariants db;
+  check Alcotest.int "count" n (B.count db);
+  for i = 0 to n - 1 do
+    check Alcotest.(option string) ("get " ^ key i) (Some (value i))
+      (B.get db (key i))
+  done
+
+let test_iterator_sorted () =
+  let env = Env.create () in
+  let db = B.open_store (tiny_opts ()) ~env ~dir:"bt" in
+  let n = 500 in
+  let perm = Array.init n Fun.id in
+  Pdb_util.Rng.shuffle (Pdb_util.Rng.create 2) perm;
+  Array.iter (fun i -> B.put db (key i) (value i)) perm;
+  let got = Iter.to_list (B.iterator db) in
+  check
+    Alcotest.(list (pair string string))
+    "sorted" (List.init n (fun i -> (key i, value i)))
+    got
+
+let test_iterator_seek () =
+  let env = Env.create () in
+  let db = B.open_store (tiny_opts ()) ~env ~dir:"bt" in
+  for i = 0 to 499 do
+    B.put db (key (2 * i)) (value i)
+  done;
+  let it = B.iterator db in
+  it.Iter.seek (key 101);
+  check Alcotest.string "seek successor" (key 102) (it.Iter.key ());
+  it.Iter.next ();
+  check Alcotest.string "next" (key 104) (it.Iter.key ())
+
+let test_delete () =
+  let env = Env.create () in
+  let db = B.open_store (tiny_opts ()) ~env ~dir:"bt" in
+  for i = 0 to 299 do
+    B.put db (key i) (value i)
+  done;
+  for i = 0 to 299 do
+    if i mod 2 = 0 then B.delete db (key i)
+  done;
+  B.check_invariants db;
+  check Alcotest.int "count" 150 (B.count db);
+  for i = 0 to 299 do
+    let expected = if i mod 2 = 0 then None else Some (value i) in
+    check Alcotest.(option string) (key i) expected (B.get db (key i))
+  done
+
+let test_persistence () =
+  let env = Env.create () in
+  let db = B.open_store (tiny_opts ()) ~env ~dir:"bt" in
+  for i = 0 to 999 do
+    B.put db (key i) (value i)
+  done;
+  B.close db;
+  let db2 = B.open_store (tiny_opts ()) ~env ~dir:"bt" in
+  B.check_invariants db2;
+  for i = 0 to 999 do
+    check Alcotest.(option string) ("reloaded " ^ key i) (Some (value i))
+      (B.get db2 (key i))
+  done
+
+let test_btree_write_amp_exceeds_lsm () =
+  (* chapter 2's motivation: random updates to a write-through B+-tree
+     amplify writes far beyond an LSM *)
+  let n = 2000 in
+  let env_b = Env.create () in
+  let bt = B.open_store (tiny_opts ()) ~env:env_b ~dir:"bt" in
+  for i = 0 to n - 1 do
+    B.put bt (key (i * 7919 mod n)) (value i)
+  done;
+  let bt_io = (Env.stats env_b).Pdb_simio.Io_stats.bytes_written in
+  let env_l = Env.create () in
+  let opts =
+    {
+      (O.hyperleveldb ()) with
+      O.memtable_bytes = 4 * 1024;
+      block_bytes = 512;
+      sstable_target_bytes = 4 * 1024;
+      level_bytes_base = 16 * 1024;
+    }
+  in
+  let lsm = Pdb_lsm.Lsm_store.open_store opts ~env:env_l ~dir:"db" in
+  for i = 0 to n - 1 do
+    Pdb_lsm.Lsm_store.put lsm (key (i * 7919 mod n)) (value i)
+  done;
+  Pdb_lsm.Lsm_store.flush lsm;
+  let lsm_io = (Env.stats env_l).Pdb_simio.Io_stats.bytes_written in
+  Alcotest.(check bool)
+    (Printf.sprintf "btree io %d > lsm io %d" bt_io lsm_io)
+    true (bt_io > lsm_io)
+
+let test_wt_buffered_writes_less_than_write_through () =
+  let n = 3000 in
+  let run_mode mode =
+    let env = Env.create () in
+    let db = B.open_store ~mode (tiny_opts ()) ~env ~dir:"bt" in
+    for i = 0 to n - 1 do
+      B.put db (key (i mod 200)) (value i) (* hot working set *)
+    done;
+    B.flush db;
+    (Env.stats env).Pdb_simio.Io_stats.bytes_written
+  in
+  let wt = run_mode B.Buffered and kc = run_mode B.Write_through in
+  Alcotest.(check bool)
+    (Printf.sprintf "buffered %d < write-through %d" wt kc)
+    true (wt < kc)
+
+let test_wt_store_roundtrip () =
+  let env = Env.create () in
+  let db = W.open_store (tiny_opts ()) ~env ~dir:"wt" in
+  for i = 0 to 999 do
+    W.put db (key i) (value i)
+  done;
+  for i = 0 to 999 do
+    check Alcotest.(option string) (key i) (Some (value i)) (W.get db (key i))
+  done;
+  W.check_invariants db;
+  W.close db;
+  let db2 = W.open_store (tiny_opts ()) ~env ~dir:"wt" in
+  for i = 0 to 999 do
+    check Alcotest.(option string) ("persisted " ^ key i) (Some (value i))
+      (W.get db2 (key i))
+  done
+
+let test_wt_checkpoints_bound_journal () =
+  let env = Env.create () in
+  let opts = { (tiny_opts ()) with O.memtable_bytes = 2 * 1024 } in
+  let db = W.open_store opts ~env ~dir:"wt" in
+  for i = 0 to 999 do
+    W.put db (key i) (value i)
+  done;
+  (* journals are rotated: no journal file may exceed ~2x the limit *)
+  List.iter
+    (fun name ->
+      if Filename.check_suffix name ".log" then
+        Alcotest.(check bool) "journal bounded" true
+          (Env.file_size env name < 4 * opts.O.memtable_bytes))
+    (Env.list env)
+
+let prop_btree_model =
+  qtest "btree = model under random ops"
+    QCheck.(list (pair (int_bound 300) (option (int_bound 1000))))
+    (fun ops ->
+      let env = Env.create () in
+      let db = B.open_store (tiny_opts ()) ~env ~dir:"bt" in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (k, v) ->
+          let ks = key k in
+          match v with
+          | Some v ->
+            B.put db ks (value v);
+            Hashtbl.replace model ks (value v)
+          | None ->
+            B.delete db ks;
+            Hashtbl.remove model ks)
+        ops;
+      B.check_invariants db;
+      Hashtbl.fold (fun k v acc -> acc && B.get db k = Some v) model true
+      && List.for_all
+           (fun (k, _) ->
+             let ks = key k in
+             B.get db ks = Hashtbl.find_opt model ks)
+           ops)
+
+let prop_btree_iterator_model =
+  qtest "btree iterator = sorted model" ~count:10
+    QCheck.(list (pair (int_bound 400) (int_bound 1000)))
+    (fun ops ->
+      let env = Env.create () in
+      let db = B.open_store (tiny_opts ()) ~env ~dir:"bt" in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (k, v) ->
+          B.put db (key k) (value v);
+          Hashtbl.replace model (key k) (value v))
+        ops;
+      let expected =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
+        |> List.sort compare
+      in
+      Iter.to_list (B.iterator db) = expected)
+
+let () =
+  Alcotest.run "btree"
+    [
+      ( "bptree",
+        [
+          Alcotest.test_case "put/get" `Quick test_put_get;
+          Alcotest.test_case "splits" `Quick test_splits_preserve_data;
+          Alcotest.test_case "iterator sorted" `Quick test_iterator_sorted;
+          Alcotest.test_case "iterator seek" `Quick test_iterator_seek;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "persistence" `Quick test_persistence;
+          Alcotest.test_case "write amp vs lsm" `Quick
+            test_btree_write_amp_exceeds_lsm;
+          Alcotest.test_case "buffered < write-through" `Quick
+            test_wt_buffered_writes_less_than_write_through;
+          prop_btree_model;
+          prop_btree_iterator_model;
+        ] );
+      ( "wiredtiger-sim",
+        [
+          Alcotest.test_case "roundtrip+persist" `Quick test_wt_store_roundtrip;
+          Alcotest.test_case "journal bounded" `Quick
+            test_wt_checkpoints_bound_journal;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Tests for the simulated storage environment. *)
+
+open Pdb_simio
+
+let check = Alcotest.check
+
+let test_create_append_read () =
+  let env = Env.create () in
+  let w = Env.create_file env "dir/a" in
+  Env.append w "hello ";
+  Env.append w "world";
+  Env.close w;
+  check Alcotest.int "size" 11 (Env.file_size env "dir/a");
+  check Alcotest.string "read all" "hello world"
+    (Env.read_all env "dir/a" ~hint:Device.Sequential_read);
+  check Alcotest.string "read range" "wor"
+    (Env.read env "dir/a" ~pos:6 ~len:3 ~hint:Device.Random_read)
+
+let test_read_out_of_bounds () =
+  let env = Env.create () in
+  let w = Env.create_file env "f" in
+  Env.append w "abc";
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Env.read env "f" ~pos:1 ~len:5 ~hint:Device.Random_read);
+       false
+     with Invalid_argument _ -> true)
+
+let test_missing_file () =
+  let env = Env.create () in
+  Alcotest.(check bool) "raises Sys_error" true
+    (try
+       ignore (Env.file_size env "nope");
+       false
+     with Sys_error _ -> true)
+
+let test_rename_delete () =
+  let env = Env.create () in
+  let w = Env.create_file env "old" in
+  Env.append w "data";
+  Env.rename env ~src:"old" ~dst:"new";
+  Alcotest.(check bool) "old gone" false (Env.exists env "old");
+  check Alcotest.string "new has data" "data"
+    (Env.read_all env "new" ~hint:Device.Sequential_read);
+  Env.delete env "new";
+  Alcotest.(check bool) "deleted" false (Env.exists env "new")
+
+let test_stats_accounting () =
+  let env = Env.create () in
+  let w = Env.create_file env "f" in
+  Env.append w (String.make 100 'x');
+  Env.append w (String.make 50 'y');
+  ignore (Env.read env "f" ~pos:0 ~len:30 ~hint:Device.Random_read);
+  let s = Env.stats env in
+  check Alcotest.int "bytes written" 150 s.Io_stats.bytes_written;
+  check Alcotest.int "bytes read" 30 s.Io_stats.bytes_read;
+  check Alcotest.int "write ops" 2 s.Io_stats.write_ops;
+  check Alcotest.int "read ops" 1 s.Io_stats.read_ops
+
+let test_crash_drops_unsynced () =
+  let env = Env.create () in
+  let w = Env.create_file env "f" in
+  Env.append w "durable";
+  Env.sync w;
+  Env.append w "volatile";
+  Env.crash env;
+  check Alcotest.string "only synced survives" "durable"
+    (Env.read_all env "f" ~hint:Device.Sequential_read)
+
+let test_crash_removes_never_synced () =
+  let env = Env.create () in
+  let w = Env.create_file env "f" in
+  Env.append w "gone";
+  Env.crash env;
+  Alcotest.(check bool) "file vanished" false (Env.exists env "f")
+
+let test_total_file_bytes () =
+  let env = Env.create () in
+  let w1 = Env.create_file env "a" in
+  Env.append w1 "12345";
+  let w2 = Env.create_file env "b" in
+  Env.append w2 "123";
+  check Alcotest.int "total" 8 (Env.total_file_bytes env)
+
+let test_clock_lanes () =
+  let env = Env.create () in
+  let clock = Env.clock env in
+  let w = Env.create_file env "f" in
+  Env.append w "fg-bytes";
+  let snap1 = Clock.snapshot clock in
+  Alcotest.(check bool) "foreground charged" true
+    (snap1.Clock.foreground_ns > 0.0);
+  Clock.with_background clock (fun () -> Env.append w "bg-bytes");
+  let snap2 = Clock.snapshot clock in
+  Alcotest.(check bool) "background charged" true
+    (snap2.Clock.background_ns > 0.0);
+  check (Alcotest.float 0.0001) "foreground unchanged by bg work"
+    snap1.Clock.foreground_ns snap2.Clock.foreground_ns
+
+let test_clock_elapsed_model () =
+  (* device IO serialises (fg + bg/threads); CPU overlaps with IO *)
+  let c = Clock.create () in
+  Clock.advance c 100.0;
+  Clock.advance_cpu c 500.0;
+  Clock.with_background c (fun () -> Clock.advance c 1000.0);
+  let s = Clock.snapshot c in
+  check (Alcotest.float 0.001) "device-bound with 1 thread" 1100.0
+    (Clock.elapsed_ns s ~threads:1);
+  check (Alcotest.float 0.001) "cpu-bound with many threads" 500.0
+    (Clock.elapsed_ns s ~threads:100);
+  Clock.stall c 50.0;
+  check (Alcotest.float 0.001) "stalls add on" 1150.0
+    (Clock.elapsed_ns (Clock.snapshot c) ~threads:1)
+
+let test_device_aging () =
+  let d = Device.ssd () in
+  let fresh = Device.write_cost d ~bytes:1000 in
+  Device.set_aging d 2.0;
+  let aged = Device.write_cost d ~bytes:1000 in
+  check (Alcotest.float 0.001) "aging doubles cost" (fresh *. 2.0) aged
+
+let test_device_read_hints () =
+  let d = Device.ssd () in
+  Alcotest.(check bool) "random read costlier than sequential" true
+    (Device.read_cost d ~hint:Device.Random_read ~bytes:4096
+     > Device.read_cost d ~hint:Device.Sequential_read ~bytes:4096)
+
+let test_truncating_create () =
+  let env = Env.create () in
+  let w = Env.create_file env "f" in
+  Env.append w "aaaa";
+  let w2 = Env.create_file env "f" in
+  Env.append w2 "b";
+  check Alcotest.int "truncated" 1 (Env.file_size env "f")
+
+let () =
+  Alcotest.run "simio"
+    [
+      ( "env",
+        [
+          Alcotest.test_case "create/append/read" `Quick
+            test_create_append_read;
+          Alcotest.test_case "read out of bounds" `Quick
+            test_read_out_of_bounds;
+          Alcotest.test_case "missing file" `Quick test_missing_file;
+          Alcotest.test_case "rename/delete" `Quick test_rename_delete;
+          Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+          Alcotest.test_case "total bytes" `Quick test_total_file_bytes;
+          Alcotest.test_case "truncating create" `Quick test_truncating_create;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "drops unsynced" `Quick test_crash_drops_unsynced;
+          Alcotest.test_case "removes never-synced" `Quick
+            test_crash_removes_never_synced;
+        ] );
+      ( "clock-device",
+        [
+          Alcotest.test_case "lanes" `Quick test_clock_lanes;
+          Alcotest.test_case "elapsed model" `Quick test_clock_elapsed_model;
+          Alcotest.test_case "aging" `Quick test_device_aging;
+          Alcotest.test_case "read hints" `Quick test_device_read_hints;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Tests for workload traces and the FLSM level iterator. *)
+
+module Trace = Pdb_ycsb.Trace
+module Dyn = Pdb_kvs.Store_intf
+module Env = Pdb_simio.Env
+module Iter = Pdb_kvs.Iter
+module Ik = Pdb_kvs.Internal_key
+module G = Pebblesdb.Guard
+
+let check = Alcotest.check
+
+let qtest ?(count = 20) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ---------- trace encode/decode ---------- *)
+
+let test_trace_op_roundtrip () =
+  let ops =
+    [
+      Trace.Put ("key1", "value1");
+      Trace.Delete "key2";
+      Trace.Get "key3";
+      Trace.Scan ("key4", 42);
+      Trace.Put ("", "");
+    ]
+  in
+  let env = Env.create () in
+  let r = Trace.Recorder.create env "trace" in
+  List.iter (Trace.Recorder.add r) ops;
+  check Alcotest.int "op count" (List.length ops) (Trace.Recorder.close r);
+  let back = Trace.read env "trace" in
+  Alcotest.(check bool) "roundtrip" true (back = ops)
+
+let prop_trace_roundtrip =
+  qtest "trace roundtrip (random ops)"
+    QCheck.(list (pair (string_of_size (QCheck.Gen.return 8)) small_int))
+    (fun pairs ->
+      let ops =
+        List.map
+          (fun (k, n) ->
+            match n mod 4 with
+            | 0 -> Trace.Put (k, string_of_int n)
+            | 1 -> Trace.Delete k
+            | 2 -> Trace.Get k
+            | _ -> Trace.Scan (k, n))
+          pairs
+      in
+      let env = Env.create () in
+      let r = Trace.Recorder.create env "t" in
+      List.iter (Trace.Recorder.add r) ops;
+      ignore (Trace.Recorder.close r);
+      Trace.read env "t" = ops)
+
+let test_trace_replay_counts () =
+  let env = Env.create () in
+  let r = Trace.Recorder.create env "trace" in
+  Trace.Recorder.add r (Trace.Put ("a", "1"));
+  Trace.Recorder.add r (Trace.Put ("b", "2"));
+  Trace.Recorder.add r (Trace.Get "a");
+  Trace.Recorder.add r (Trace.Get "missing");
+  Trace.Recorder.add r (Trace.Delete "a");
+  Trace.Recorder.add r (Trace.Scan ("a", 5));
+  ignore (Trace.Recorder.close r);
+  let store =
+    Pdb_harness.Stores.open_engine Pdb_harness.Stores.Pebblesdb
+  in
+  let res = Trace.replay env "trace" store in
+  check Alcotest.int "ops" 6 res.Trace.ops;
+  check Alcotest.int "puts" 2 res.Trace.puts;
+  check Alcotest.int "gets" 2 res.Trace.gets;
+  check Alcotest.int "hits" 1 res.Trace.hits;
+  check Alcotest.int "deletes" 1 res.Trace.deletes;
+  check Alcotest.int "scans" 1 res.Trace.scans;
+  check Alcotest.(option string) "final state" None (store.Dyn.d_get "a");
+  check Alcotest.(option string) "b survives" (Some "2") (store.Dyn.d_get "b");
+  store.Dyn.d_close ()
+
+let test_ycsb_trace_replay_identical_across_engines () =
+  let trace_env = Env.create () in
+  let n =
+    Trace.record_ycsb trace_env "trace" Pdb_ycsb.Workload.workload_a
+      ~records:500 ~operations:500 ~value_bytes:64 ~seed:3
+  in
+  Alcotest.(check bool) "trace recorded" true (n >= 1000);
+  let final_state engine =
+    let store =
+      Pdb_harness.Stores.open_engine
+        ~tweak:(fun o -> { o with Pdb_kvs.Options.memtable_bytes = 8 * 1024 })
+        engine
+    in
+    let res = Trace.replay trace_env "trace" store in
+    let contents = Iter.to_list (store.Dyn.d_iterator ()) in
+    store.Dyn.d_close ();
+    (res, contents)
+  in
+  let res_p, state_p = final_state Pdb_harness.Stores.Pebblesdb in
+  let res_h, state_h = final_state Pdb_harness.Stores.Hyperleveldb in
+  Alcotest.(check bool) "same op counts" true (res_p = res_h);
+  Alcotest.(check bool) "same final contents" true (state_p = state_h)
+
+(* ---------- flsm level iterator ---------- *)
+
+let ikey k = Ik.encode ~user_key:k ~seq:1 ~kind:Ik.Value
+
+let build_table env ~number entries =
+  let b =
+    Pdb_sstable.Table.Builder.create env ~dir:"db" ~number ~block_bytes:512
+      ~bloom:true ~expected_keys:(List.length entries)
+  in
+  List.iter (fun (k, v) -> Pdb_sstable.Table.Builder.add b (ikey k) v) entries;
+  Option.get (Pdb_sstable.Table.Builder.finish b)
+
+let make_level env specs =
+  (* specs: (guard_keys, tables per guard as key lists) *)
+  let level = G.create_level () in
+  G.commit_guards level (List.filter_map fst specs);
+  let number = ref 1 in
+  List.iter
+    (fun (_, tables) ->
+      List.iter
+        (fun keys ->
+          let entries = List.map (fun k -> (k, "v-" ^ k)) keys in
+          let meta = build_table env ~number:!number entries in
+          incr number;
+          G.attach level meta)
+        tables)
+    specs;
+  level
+
+let iter_of env level =
+  let tc = Pdb_sstable.Table_cache.create env ~dir:"db" ~entries:100 in
+  let bc = Pdb_sstable.Block_cache.create ~capacity:(1 lsl 20) in
+  Pebblesdb.Flsm_level_iter.create ~level ~cache:tc ~block_cache:bc
+    ~hint:Pdb_simio.Device.Random_read
+    ~on_table:(fun () -> ())
+    ~parallel:None ()
+
+let test_level_iter_merges_within_guard () =
+  let env = Env.create () in
+  (* one guard "g" with two overlapping tables *)
+  let level =
+    make_level env
+      [ (None, [ [ "a"; "c" ] ]); (Some "g", [ [ "g"; "m" ]; [ "h"; "k" ] ]) ]
+  in
+  let it = iter_of env level in
+  let keys = List.map (fun (k, _) -> Ik.user_key k) (Iter.to_list it) in
+  check Alcotest.(list string) "merged order"
+    [ "a"; "c"; "g"; "h"; "k"; "m" ]
+    keys
+
+let test_level_iter_skips_empty_guards () =
+  let env = Env.create () in
+  let level =
+    make_level env
+      [ (None, [ [ "a" ] ]); (Some "g", []); (Some "p", [ [ "q"; "r" ] ]) ]
+  in
+  let it = iter_of env level in
+  it.Iter.seek (Ik.max_for_lookup "b");
+  check Alcotest.string "skips empty guard g" "q"
+    (Ik.user_key (it.Iter.key ()));
+  it.Iter.next ();
+  check Alcotest.string "next" "r" (Ik.user_key (it.Iter.key ()));
+  it.Iter.next ();
+  Alcotest.(check bool) "exhausted" false (it.Iter.valid ())
+
+let test_level_iter_seek_lands_in_guard () =
+  let env = Env.create () in
+  let level =
+    make_level env
+      [
+        (None, [ [ "a"; "b" ] ]);
+        (Some "g", [ [ "g"; "z1" ] |> List.map (fun k -> k) ]);
+      ]
+  in
+  (* table in guard g spans g..z1; the guard owns [g, inf) *)
+  let it = iter_of env level in
+  it.Iter.seek (Ik.max_for_lookup "h");
+  check Alcotest.string "inside guard" "z1" (Ik.user_key (it.Iter.key ()))
+
+let test_level_iter_empty_level () =
+  let env = Env.create () in
+  let level = G.create_level () in
+  let it = iter_of env level in
+  it.Iter.seek_to_first ();
+  Alcotest.(check bool) "empty" false (it.Iter.valid ());
+  it.Iter.seek (Ik.max_for_lookup "x");
+  Alcotest.(check bool) "seek empty" false (it.Iter.valid ())
+
+let prop_level_iter_equals_sorted_union =
+  qtest "level iterator = sorted union of its tables" ~count:15
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30)
+              (string_of_size (QCheck.Gen.return 4)))
+    (fun keys ->
+      let keys = List.sort_uniq compare keys in
+      match keys with
+      | [] -> true
+      | _ ->
+        let env = Env.create () in
+        (* split keys across a guard at the median *)
+        let arr = Array.of_list keys in
+        let mid = arr.(Array.length arr / 2) in
+        let left = List.filter (fun k -> k < mid) keys in
+        let right = List.filter (fun k -> k >= mid) keys in
+        let specs =
+          [ (None, if left = [] then [] else [ left ]);
+            (Some mid, if right = [] then [] else [ right ]) ]
+        in
+        let level = make_level env specs in
+        let it = iter_of env level in
+        let got = List.map (fun (k, _) -> Ik.user_key k) (Iter.to_list it) in
+        got = keys)
+
+let () =
+  Alcotest.run "trace-leveliter"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "op roundtrip" `Quick test_trace_op_roundtrip;
+          prop_trace_roundtrip;
+          Alcotest.test_case "replay counts" `Quick test_trace_replay_counts;
+          Alcotest.test_case "identical across engines" `Quick
+            test_ycsb_trace_replay_identical_across_engines;
+        ] );
+      ( "flsm-level-iter",
+        [
+          Alcotest.test_case "merges within guard" `Quick
+            test_level_iter_merges_within_guard;
+          Alcotest.test_case "skips empty guards" `Quick
+            test_level_iter_skips_empty_guards;
+          Alcotest.test_case "seek in guard" `Quick
+            test_level_iter_seek_lands_in_guard;
+          Alcotest.test_case "empty level" `Quick test_level_iter_empty_level;
+          prop_level_iter_equals_sorted_union;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+(* Tests for the write-ahead log and MANIFEST. *)
+
+module Wal = Pdb_wal.Wal
+module Manifest = Pdb_manifest.Manifest
+module Env = Pdb_simio.Env
+
+let check = Alcotest.check
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let test_wal_roundtrip () =
+  let env = Env.create () in
+  let w = Wal.Writer.create env "log" in
+  let records = [ "first"; "second record"; ""; "third" ] in
+  List.iter (Wal.Writer.add_record w) records;
+  Wal.Writer.close w;
+  check Alcotest.(list string) "records" records (Wal.Reader.read_all env "log")
+
+let test_wal_large_record_fragments () =
+  let env = Env.create () in
+  let w = Wal.Writer.create env "log" in
+  (* larger than two blocks: forces FIRST/MIDDLE/LAST *)
+  let big = String.init 80_000 (fun i -> Char.chr (i mod 256)) in
+  Wal.Writer.add_record w "before";
+  Wal.Writer.add_record w big;
+  Wal.Writer.add_record w "after";
+  Wal.Writer.close w;
+  check Alcotest.(list string) "fragmented roundtrip" [ "before"; big; "after" ]
+    (Wal.Reader.read_all env "log")
+
+let test_wal_block_boundary () =
+  (* records sized to land a header exactly at the block boundary *)
+  let env = Env.create () in
+  let w = Wal.Writer.create env "log" in
+  let records =
+    List.init 40 (fun i -> String.make (1000 + i) (Char.chr (65 + (i mod 26))))
+  in
+  List.iter (Wal.Writer.add_record w) records;
+  Wal.Writer.close w;
+  check Alcotest.(list string) "boundary roundtrip" records
+    (Wal.Reader.read_all env "log")
+
+let test_wal_truncated_tail_dropped () =
+  let env = Env.create () in
+  let w = Wal.Writer.create env "log" in
+  Wal.Writer.add_record w "durable-1";
+  Wal.Writer.add_record w "durable-2";
+  Wal.Writer.sync w;
+  Wal.Writer.add_record w "volatile";
+  Env.crash env;
+  check Alcotest.(list string) "synced records survive"
+    [ "durable-1"; "durable-2" ]
+    (Wal.Reader.read_all env "log")
+
+let test_wal_corrupt_crc_stops () =
+  let env = Env.create () in
+  let w = Wal.Writer.create env "log" in
+  Wal.Writer.add_record w "good";
+  Wal.Writer.add_record w "evil";
+  Wal.Writer.close w;
+  (* flip a byte inside the second record's payload *)
+  let data = Env.read_all env "log" ~hint:Pdb_simio.Device.Sequential_read in
+  let bytes = Bytes.of_string data in
+  let target = String.length data - 1 in
+  Bytes.set bytes target
+    (Char.chr (Char.code (Bytes.get bytes target) lxor 0xff));
+  let w2 = Env.create_file env "log" in
+  Env.append w2 (Bytes.to_string bytes);
+  check Alcotest.(list string) "reader stops at corruption" [ "good" ]
+    (Wal.Reader.read_all env "log")
+
+let prop_wal_roundtrip =
+  qtest "wal roundtrip (random records)"
+    QCheck.(list (string_of_size QCheck.Gen.(0 -- 500)))
+    (fun records ->
+      let env = Env.create () in
+      let w = Wal.Writer.create env "log" in
+      List.iter (Wal.Writer.add_record w) records;
+      Wal.Writer.close w;
+      Wal.Reader.read_all env "log" = records)
+
+(* ---------- Manifest ---------- *)
+
+let meta number : Pdb_sstable.Table.meta =
+  {
+    Pdb_sstable.Table.number;
+    file_size = 1000 + number;
+    entries = 10 * number;
+    smallest = Printf.sprintf "small%d" number;
+    largest = Printf.sprintf "large%d" number;
+  }
+
+let test_edit_roundtrip () =
+  let e = Manifest.empty_edit () in
+  e.Manifest.log_number <- Some 7;
+  e.Manifest.next_file_number <- Some 42;
+  e.Manifest.last_sequence <- Some 99999;
+  e.Manifest.added_files <- [ (0, meta 1); (2, meta 5) ];
+  e.Manifest.deleted_files <- [ (1, 3) ];
+  e.Manifest.added_guards <- [ (1, "guard-a"); (3, "guard-b") ];
+  e.Manifest.deleted_guards <- [ (2, "guard-c") ];
+  let e' = Manifest.decode_edit (Manifest.encode_edit e) in
+  Alcotest.(check (option int)) "log" (Some 7) e'.Manifest.log_number;
+  Alcotest.(check (option int)) "next file" (Some 42)
+    e'.Manifest.next_file_number;
+  Alcotest.(check (option int)) "last seq" (Some 99999)
+    e'.Manifest.last_sequence;
+  Alcotest.(check int) "added files" 2 (List.length e'.Manifest.added_files);
+  (let lvl, m = List.nth e'.Manifest.added_files 1 in
+   Alcotest.(check int) "level" 2 lvl;
+   Alcotest.(check int) "number" 5 m.Pdb_sstable.Table.number;
+   Alcotest.(check string) "smallest" "small5" m.Pdb_sstable.Table.smallest);
+  Alcotest.(check (list (pair int int))) "deleted" [ (1, 3) ]
+    e'.Manifest.deleted_files;
+  Alcotest.(check (list (pair int string))) "guards"
+    [ (1, "guard-a"); (3, "guard-b") ]
+    e'.Manifest.added_guards;
+  Alcotest.(check (list (pair int string))) "deleted guards"
+    [ (2, "guard-c") ]
+    e'.Manifest.deleted_guards
+
+let test_manifest_create_recover () =
+  let env = Env.create () in
+  let e1 = Manifest.empty_edit () in
+  e1.Manifest.next_file_number <- Some 2;
+  let m = Manifest.create env ~dir:"db" ~number:1 ~edits:[ e1 ] in
+  let e2 = Manifest.empty_edit () in
+  e2.Manifest.added_files <- [ (0, meta 9) ];
+  Manifest.append m e2;
+  match Manifest.recover env ~dir:"db" with
+  | None -> Alcotest.fail "expected manifest"
+  | Some (name, edits) ->
+    Alcotest.(check bool) "name points at manifest" true
+      (String.length name > 0);
+    Alcotest.(check int) "two edits" 2 (List.length edits);
+    let last = List.nth edits 1 in
+    Alcotest.(check int) "recovered file add" 9
+      (snd (List.hd last.Manifest.added_files)).Pdb_sstable.Table.number
+
+let test_manifest_survives_crash () =
+  let env = Env.create () in
+  let m = Manifest.create env ~dir:"db" ~number:1 ~edits:[] in
+  let e = Manifest.empty_edit () in
+  e.Manifest.last_sequence <- Some 5;
+  Manifest.append m e;
+  (* appended edits are synced; crash must preserve them *)
+  Env.crash env;
+  match Manifest.recover env ~dir:"db" with
+  | None -> Alcotest.fail "manifest lost"
+  | Some (_, edits) ->
+    Alcotest.(check int) "edit survives crash" 1 (List.length edits)
+
+let test_manifest_missing () =
+  let env = Env.create () in
+  Alcotest.(check bool) "no CURRENT -> None" true
+    (Manifest.recover env ~dir:"db" = None)
+
+let () =
+  Alcotest.run "wal-manifest"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "large record" `Quick
+            test_wal_large_record_fragments;
+          Alcotest.test_case "block boundary" `Quick test_wal_block_boundary;
+          Alcotest.test_case "truncated tail" `Quick
+            test_wal_truncated_tail_dropped;
+          Alcotest.test_case "corrupt crc" `Quick test_wal_corrupt_crc_stops;
+          prop_wal_roundtrip;
+        ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "edit roundtrip" `Quick test_edit_roundtrip;
+          Alcotest.test_case "create/recover" `Quick
+            test_manifest_create_recover;
+          Alcotest.test_case "crash durability" `Quick
+            test_manifest_survives_crash;
+          Alcotest.test_case "missing" `Quick test_manifest_missing;
+        ] );
+    ]
