@@ -115,10 +115,16 @@ let run store_name benchmarks num value_size seed =
           Printf.printf "%-14s : done\n%!" bench
         | "stats" ->
           Printf.printf "%s\n  write-amp: %.2f\n%!" (store.Dyn.d_describe ())
-            (B.write_amp store)
+            (B.write_amp store);
+          (match B.scheduler_summary store with
+           | "" -> ()
+           | s -> Printf.printf "  compaction: %s\n%!" s)
         | other -> Printf.printf "unknown benchmark %S (skipped)\n%!" other)
       benchmarks;
     Printf.printf "final write amplification: %.2f\n" (B.write_amp store);
+    (match B.scheduler_summary store with
+     | "" -> ()
+     | s -> Printf.printf "compaction scheduler: %s\n" s);
     store.Dyn.d_close ()
 
 let store_arg =

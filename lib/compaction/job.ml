@@ -1,0 +1,42 @@
+(** A unit of background work, reified as data.
+
+    Following Sarkar et al.'s decomposition of the LSM compaction design
+    space, a compaction is described by {e why} it was picked (the
+    trigger), {e what} it touches (the footprint: level span and key
+    range, which drives worker-timeline conflict detection), and {e how
+    much} data it is expected to move.  The [run] closure performs the
+    actual state mutation when the scheduler drains the job; it captures
+    stable identifiers (level numbers, guard keys) rather than live
+    records, and re-resolves them at execution time so that jobs queued
+    behind a structure-changing job still apply to current state. *)
+
+type trigger =
+  | Memtable_full  (** flush: the active memtable reached its budget *)
+  | L0_files  (** too many level-0 sstables *)
+  | Level_size  (** a level exceeded its target size *)
+  | Guard_cap  (** a guard holds too many sstables (FLSM per-guard cap) *)
+  | Guard_merge  (** last-level guard rewrite to bound overlap *)
+  | Seek  (** read-triggered compaction (allowed-seeks exhausted) *)
+  | Manual  (** [compact_all] / explicit user request *)
+
+let trigger_name = function
+  | Memtable_full -> "flush"
+  | L0_files -> "l0"
+  | Level_size -> "size"
+  | Guard_cap -> "cap"
+  | Guard_merge -> "merge"
+  | Seek -> "seek"
+  | Manual -> "manual"
+
+type t = {
+  key : string;
+      (** identity for queue dedup, e.g. ["size:2"] or ["cap:3:user4821"];
+          one pending job per key *)
+  trigger : trigger;
+  estimated_bytes : int;  (** expected input volume, for backlog stats *)
+  footprint : Pdb_simio.Sched.footprint;
+  run : unit -> unit;
+}
+
+let pp ppf j =
+  Fmt.pf ppf "%s(%s, ~%d B)" (trigger_name j.trigger) j.key j.estimated_bytes

@@ -1,0 +1,112 @@
+(** The shared background-work scheduler.
+
+    Stores no longer compact inline: [maybe_compact] {e submits}
+    {!Job.t}s here, and write-path back-pressure is decided from the
+    queue backlog.  Draining executes jobs FIFO — one at a time, so
+    store mutation order (and hence final state) never depends on the
+    worker count — while each job's measured background device time is
+    placed on the {!Pdb_simio.Sched} worker timelines, where
+    footprint-disjoint jobs overlap and conflicting jobs serialise.
+    Worker count therefore shapes only the modeled clock, which is the
+    whole point: guard-parallel FLSM compaction (many small disjoint
+    jobs) packs N lanes densely, leveled compaction (few wide jobs)
+    cannot. *)
+
+module Clock = Pdb_simio.Clock
+module Sched = Pdb_simio.Sched
+
+type stats = {
+  mutable jobs_run : int;
+  mutable queue_peak : int;  (** max pending jobs observed *)
+  mutable backlog_peak_bytes : int;
+      (** max sum of pending jobs' estimated bytes *)
+  mutable stall_slowdown_ns : float;
+      (** stall time attributed to the slowdown threshold *)
+  mutable stall_stop_ns : float;
+      (** stall time attributed to the hard stop threshold *)
+}
+
+type t = {
+  clock : Clock.t;
+  lanes : Sched.t;
+  queue : Job.t Queue.t;
+  keys : (string, unit) Hashtbl.t; (* pending-job identity, for dedup *)
+  mutable backlog_bytes : int;
+  stats : stats;
+  mutable observer : (Job.t -> unit) option;
+}
+
+let create ~clock ~workers =
+  {
+    clock;
+    lanes = Sched.create ~clock ~workers;
+    queue = Queue.create ();
+    keys = Hashtbl.create 16;
+    backlog_bytes = 0;
+    stats =
+      {
+        jobs_run = 0;
+        queue_peak = 0;
+        backlog_peak_bytes = 0;
+        stall_slowdown_ns = 0.0;
+        stall_stop_ns = 0.0;
+      };
+    observer = None;
+  }
+
+let workers t = Sched.workers t.lanes
+let pending t = Queue.length t.queue
+let backlog_bytes t = t.backlog_bytes
+let stats t = t.stats
+let busy_ns t = Sched.busy_ns t.lanes
+let jobs_placed t = Sched.jobs_placed t.lanes
+let serialized_jobs t = Sched.serialized_jobs t.lanes
+let horizon_ns t = Sched.horizon_ns t.lanes
+
+let set_observer t f = t.observer <- Some f
+
+(** [submit t job] enqueues [job] unless one with the same key is already
+    pending; returns whether it was enqueued. *)
+let submit t (job : Job.t) =
+  if Hashtbl.mem t.keys job.key then false
+  else begin
+    Hashtbl.add t.keys job.key ();
+    Queue.push job t.queue;
+    t.backlog_bytes <- t.backlog_bytes + job.estimated_bytes;
+    if Queue.length t.queue > t.stats.queue_peak then
+      t.stats.queue_peak <- Queue.length t.queue;
+    if t.backlog_bytes > t.stats.backlog_peak_bytes then
+      t.stats.backlog_peak_bytes <- t.backlog_bytes;
+    true
+  end
+
+let run_one t (job : Job.t) =
+  let before = t.clock.Clock.background_ns in
+  Clock.with_background t.clock job.run;
+  let duration_ns = t.clock.Clock.background_ns -. before in
+  (* zero-cost jobs (e.g. trivial pointer moves) occupy no lane time *)
+  if duration_ns > 0.0 then
+    ignore (Sched.place t.lanes job.footprint ~duration_ns);
+  t.stats.jobs_run <- t.stats.jobs_run + 1;
+  match t.observer with Some f -> f job | None -> ()
+
+(** [drain t] executes every pending job, FIFO. *)
+let drain t =
+  while not (Queue.is_empty t.queue) do
+    let job = Queue.pop t.queue in
+    Hashtbl.remove t.keys job.Job.key;
+    t.backlog_bytes <- t.backlog_bytes - job.Job.estimated_bytes;
+    run_one t job
+  done
+
+(** [run_now t job] executes [job] immediately, bypassing the queue —
+    used for memtable flushes, which gate the write that triggered
+    them. *)
+let run_now t job = run_one t job
+
+(** [note_stall t kind ns] records write-stall time already charged to
+    the clock, attributing it to the slowdown or stop threshold. *)
+let note_stall t kind ns =
+  match kind with
+  | `Slowdown -> t.stats.stall_slowdown_ns <- t.stats.stall_slowdown_ns +. ns
+  | `Stop -> t.stats.stall_stop_ns <- t.stats.stall_stop_ns +. ns

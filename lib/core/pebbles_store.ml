@@ -28,12 +28,16 @@ module Table = Pdb_sstable.Table
 module Wal = Pdb_wal.Wal
 module Manifest = Pdb_manifest.Manifest
 module Stats = Pdb_kvs.Engine_stats
+module Job = Pdb_compaction.Job
+module Scheduler = Pdb_compaction.Scheduler
+module Sched = Pdb_simio.Sched
 
 type t = {
   opts : O.t;
   env : Env.t;
   dir : string;
   clock : Clock.t;
+  sched : Scheduler.t; (* shared background-compaction scheduler *)
   stats : Stats.t;
   table_cache : Pdb_sstable.Table_cache.t;
   block_cache : Pdb_sstable.Block_cache.t;
@@ -104,16 +108,27 @@ let make_builder t =
 let rec flush_memtable t =
   if not (Pdb_kvs.Memtable.is_empty t.mem) then begin
     let mem = t.mem in
-    let meta =
-      Clock.with_background t.clock (fun () ->
-          let builder = make_builder t in
-          List.iter
-            (fun (ik, v) ->
-              Clock.advance t.clock t.opts.O.cpu_per_merge_entry_ns;
-              Table.Builder.add builder ik v)
-            (Pdb_kvs.Memtable.contents mem);
-          Table.Builder.finish builder)
-    in
+    (* the flush is a background job: the scheduler runs it immediately
+       (a full memtable gates the triggering write) and places its
+       device time on a worker lane *)
+    let meta = ref None in
+    Scheduler.run_now t.sched
+      {
+        Job.key = "flush";
+        trigger = Job.Memtable_full;
+        estimated_bytes = Pdb_kvs.Memtable.approximate_bytes mem;
+        footprint = Sched.full_range ~level_lo:0 ~level_hi:0;
+        run =
+          (fun () ->
+            let builder = make_builder t in
+            List.iter
+              (fun (ik, v) ->
+                Clock.advance t.clock t.opts.O.cpu_per_merge_entry_ns;
+                Table.Builder.add builder ik v)
+              (Pdb_kvs.Memtable.contents mem);
+            meta := Table.Builder.finish builder);
+      };
+    let meta = !meta in
     (match meta with
      | Some meta ->
        t.l0 <- meta :: t.l0;
@@ -583,6 +598,26 @@ and compact_last_level_guard ?(force_full = false) t (g : Guard.guard) =
       ~outputs:(List.map (fun m -> (level_idx, m)) outputs)
   end
 
+(* Guard-scoped footprint: jobs over disjoint guards get disjoint key
+   ranges, which is what lets the scheduler overlap them on separate
+   worker timelines (§4.3). *)
+and guard_footprint t level gkey ~level_hi =
+  let lvl = t.levels.(level) in
+  let key_lo, key_hi = Guard.guard_range lvl (Guard.guard_index lvl gkey) in
+  { Sched.level_lo = level; level_hi; key_lo; key_hi }
+
+and guard_bytes (g : Guard.guard) =
+  List.fold_left
+    (fun a (m : Table.meta) -> a + m.Table.file_size)
+    0 g.Guard.tables
+
+(* Jobs capture guard *keys*, not guard records: a preceding job in the
+   queue may have spliced the guard array (commit_guards recreates
+   records), so the closure re-resolves at execution time. *)
+and find_guard t level gkey =
+  Array.to_list t.levels.(level).Guard.guards
+  |> List.find_opt (fun (g : Guard.guard) -> g.Guard.gkey = gkey)
+
 and maybe_compact t =
   (* Commit pending guards of still-empty levels up front: with no resident
      sstables there is nothing to split, so the commit is pure metadata.
@@ -603,72 +638,151 @@ and maybe_compact t =
     e.Manifest.added_guards <- !eager;
     Manifest.append t.manifest e
   end;
-  let progress = ref true in
-  while !progress do
-    progress := false;
+  (* Round-based picking: reify every trigger firing on the current state
+     as a job, enqueue the batch, drain it, re-examine.  A job
+     re-validates its trigger when it runs (an earlier job in the batch
+     may have restructured the tree), and a job that runs without
+     shrinking its measure is blocked for the rest of this invocation —
+     the same no-progress guards the old inline loop used. *)
+  let blocked = Hashtbl.create 8 in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let submitted = ref false in
+    (* [enqueue key trigger ~estimated_bytes ~footprint ~measure run]:
+       progress = [measure] strictly decreased across the job's run *)
+    let enqueue key trigger ~estimated_bytes ~footprint ~measure run =
+      if not (Hashtbl.mem blocked key) then begin
+        let job =
+          {
+            Job.key;
+            trigger;
+            estimated_bytes;
+            footprint;
+            run =
+              (fun () ->
+                let before = measure () in
+                run ();
+                if measure () >= before then Hashtbl.replace blocked key ());
+          }
+        in
+        if Scheduler.submit t.sched job then submitted := true
+      end
+    in
     (* L0 back-pressure *)
-    if List.length t.l0 >= t.opts.O.l0_compaction_trigger then begin
-      compact_level t 0;
-      progress := true
-    end;
-    (* level size triggers — progress only when the level actually shrank
-       (25x-redirected rewrites can leave the size unchanged) *)
+    if List.length t.l0 >= t.opts.O.l0_compaction_trigger then
+      enqueue "l0" Job.L0_files
+        ~estimated_bytes:
+          (List.fold_left
+             (fun a (m : Table.meta) -> a + m.Table.file_size)
+             0 t.l0)
+        ~footprint:(Sched.full_range ~level_lo:0 ~level_hi:1)
+        ~measure:(fun () -> List.length t.l0)
+        (fun () ->
+          if List.length t.l0 >= t.opts.O.l0_compaction_trigger then
+            compact_level t 0);
+    (* level size triggers — measured in bytes: 25x-redirected rewrites
+       can leave the size unchanged, which must count as no progress *)
     for level = 1 to last_level t - 1 do
-      if level_bytes t level > O.level_max_bytes t.opts level then begin
-        let before = level_bytes t level in
-        compact_level t level;
-        if level_bytes t level < before then progress := true
-      end
+      if level_bytes t level > O.level_max_bytes t.opts level then
+        enqueue
+          (Printf.sprintf "size:%d" level)
+          Job.Level_size
+          ~estimated_bytes:(level_bytes t level)
+          ~footprint:(Sched.full_range ~level_lo:level ~level_hi:(level + 1))
+          ~measure:(fun () -> level_bytes t level)
+          (fun () ->
+            if level_bytes t level > O.level_max_bytes t.opts level then
+              compact_level t level)
     done;
-    (* per-guard caps *)
+    (* per-guard caps: one job per full guard — FLSM's unit of compaction
+       concurrency *)
     for level = 1 to last_level t - 1 do
-      let lvl = t.levels.(level) in
-      let count_full () =
-        Array.fold_left
-          (fun acc (g : Guard.guard) ->
-            if List.length g.Guard.tables >= t.opts.O.max_sstables_per_guard
-            then acc + 1
-            else acc)
-          0 lvl.Guard.guards
-      in
-      let full =
-        Array.to_list lvl.Guard.guards
-        |> List.filter (fun g ->
-               List.length g.Guard.tables >= t.opts.O.max_sstables_per_guard)
-      in
-      if full <> [] then begin
-        let before = count_full () in
-        compact_level t ~only_guards:full level;
-        if count_full () < before then progress := true
-      end
+      Array.iter
+        (fun (g : Guard.guard) ->
+          if List.length g.Guard.tables >= t.opts.O.max_sstables_per_guard
+          then begin
+            let gkey = g.Guard.gkey in
+            let tables_of () =
+              match find_guard t level gkey with
+              | Some g -> List.length g.Guard.tables
+              | None -> 0
+            in
+            enqueue
+              (Printf.sprintf "cap:%d:%s" level gkey)
+              Job.Guard_cap ~estimated_bytes:(guard_bytes g)
+              ~footprint:(guard_footprint t level gkey ~level_hi:(level + 1))
+              ~measure:tables_of
+              (fun () ->
+                match find_guard t level gkey with
+                | Some g
+                  when List.length g.Guard.tables
+                       >= t.opts.O.max_sstables_per_guard ->
+                  compact_level t ~only_guards:[ g ] level
+                | Some _ | None -> ())
+          end)
+        t.levels.(level).Guard.guards
     done;
-    (* last-level guard merges; committing pending guards first refines the
-       structure (boundary-cut fragments redistribute into their own
+    (* last-level guard merges; committing pending guards first refines
+       the structure (boundary-cut fragments redistribute into their own
        guards) and often removes the need to merge at all *)
     commit_pending_with_edit t (last_level t);
-    let lvl = t.levels.(last_level t) in
+    let ll = last_level t in
     Array.iter
       (fun (g : Guard.guard) ->
-        if
-          List.length g.Guard.tables
-          >= max 2 t.opts.O.max_sstables_per_guard
+        if List.length g.Guard.tables >= max 2 t.opts.O.max_sstables_per_guard
         then begin
-          let before = List.length g.Guard.tables in
-          compact_last_level_guard t g;
-          if List.length g.Guard.tables >= before then
-            (* the tiered merge could not shrink the guard (an old run
-               straddles a pending boundary): rewrite the whole guard,
-               which dissolves every straddler *)
-            compact_last_level_guard ~force_full:true t g;
-          if List.length g.Guard.tables < before then progress := true
+          let gkey = g.Guard.gkey in
+          let tables_of () =
+            match find_guard t ll gkey with
+            | Some g -> List.length g.Guard.tables
+            | None -> 0
+          in
+          enqueue
+            (Printf.sprintf "last:%s" gkey)
+            Job.Guard_merge ~estimated_bytes:(guard_bytes g)
+            ~footprint:(guard_footprint t ll gkey ~level_hi:ll)
+            ~measure:tables_of
+            (fun () ->
+              match find_guard t ll gkey with
+              | Some g
+                when List.length g.Guard.tables
+                     >= max 2 t.opts.O.max_sstables_per_guard ->
+                let before = List.length g.Guard.tables in
+                compact_last_level_guard t g;
+                if tables_of () >= before then
+                  (* the tiered merge could not shrink the guard (an old
+                     run straddles a pending boundary): rewrite the whole
+                     guard, which dissolves every straddler *)
+                  (match find_guard t ll gkey with
+                   | Some g -> compact_last_level_guard ~force_full:true t g
+                   | None -> ())
+              | Some _ | None -> ())
         end)
-      lvl.Guard.guards
+      t.levels.(ll).Guard.guards;
+    if !submitted then begin
+      Scheduler.drain t.sched;
+      continue_ := true
+    end
   done
 
 (* Seek-triggered maintenance (§4.2): compact the most fragmented guard and
-   apply the aggressive level rule. *)
+   apply the aggressive level rule.  A rare whole-tree event, reified as a
+   single job and drained synchronously. *)
 and seek_compaction t =
   t.stats.Stats.seek_compactions <- t.stats.Stats.seek_compactions + 1;
+  ignore
+    (Scheduler.submit t.sched
+       {
+         Job.key = "seek";
+         trigger = Job.Seek;
+         estimated_bytes = 0;
+         footprint = Sched.full_range ~level_lo:1 ~level_hi:(last_level t);
+         run = (fun () -> run_seek_compaction t);
+       });
+  Scheduler.drain t.sched
+
+and run_seek_compaction t =
   (* most fragmented guard across levels 1 .. last-1 *)
   let best = ref None in
   for level = 1 to last_level t - 1 do
@@ -825,6 +939,9 @@ let open_store (opts : O.t) ~env ~dir =
       env;
       dir;
       clock = Env.clock env;
+      sched =
+        Scheduler.create ~clock:(Env.clock env)
+          ~workers:opts.O.compaction_threads;
       stats = Stats.create ();
       table_cache =
         Pdb_sstable.Table_cache.create env ~dir
@@ -871,7 +988,20 @@ let close t =
 
 let options t = t.opts
 let env t = t.env
-let stats t = t.stats
+let compaction_scheduler t = t.sched
+
+(* mirror the scheduler's counters into the engine stats on read *)
+let stats t =
+  let st = t.stats in
+  let s = Scheduler.stats t.sched in
+  st.Stats.compaction_jobs <- s.Scheduler.jobs_run;
+  st.Stats.compaction_queue_peak <- s.Scheduler.queue_peak;
+  st.Stats.compaction_backlog_peak_bytes <- s.Scheduler.backlog_peak_bytes;
+  st.Stats.compaction_serialized_jobs <- Scheduler.serialized_jobs t.sched;
+  st.Stats.stall_slowdown_ns <- s.Scheduler.stall_slowdown_ns;
+  st.Stats.stall_stop_ns <- s.Scheduler.stall_stop_ns;
+  st.Stats.worker_busy_ns <- Scheduler.busy_ns t.sched;
+  st
 
 (* ---------- writes ---------- *)
 
@@ -881,8 +1011,15 @@ let write t batch =
   t.consecutive_seeks <- 0;
   let count = Pdb_kvs.Write_batch.count batch in
   if count > 0 then begin
-    if List.length t.l0 >= t.opts.O.l0_slowdown then begin
-      Clock.stall t.clock (t.opts.O.slowdown_stall_ns *. float_of_int count);
+    (* stall model: back-pressure from the compaction backlog — L0 files
+       not yet pushed down plus jobs still pending in the queue *)
+    let backlog = List.length t.l0 + Scheduler.pending t.sched in
+    if backlog >= t.opts.O.l0_slowdown then begin
+      let ns = t.opts.O.slowdown_stall_ns *. float_of_int count in
+      Clock.stall t.clock ns;
+      Scheduler.note_stall t.sched
+        (if backlog >= t.opts.O.l0_stop then `Stop else `Slowdown)
+        ns;
       t.stats.Stats.write_stalls <- t.stats.Stats.write_stalls + count
     end;
     charge_cpu t
@@ -1106,7 +1243,18 @@ let iterator ?snapshot t =
    its fully-compacted state still has multiple sstables per guard. *)
 let compact_all t =
   flush_memtable t;
-  if t.l0 <> [] then compact_level t 0;
+  if t.l0 <> [] then
+    Scheduler.run_now t.sched
+      {
+        Job.key = "manual:l0";
+        trigger = Job.Manual;
+        estimated_bytes =
+          List.fold_left
+            (fun a (m : Table.meta) -> a + m.Table.file_size)
+            0 t.l0;
+        footprint = Sched.full_range ~level_lo:0 ~level_hi:1;
+        run = (fun () -> compact_level t 0);
+      };
   maybe_compact t;
   gc_obsolete t
 

@@ -28,7 +28,15 @@ val close : t -> unit
 
 val options : t -> Pdb_kvs.Options.t
 val env : t -> Pdb_simio.Env.t
+
+(** [stats t] are the engine counters, with the background scheduler's
+    counters (jobs, queue peaks, per-worker busy time, stall attribution)
+    mirrored in on every read. *)
 val stats : t -> Pdb_kvs.Engine_stats.t
+
+(** The shared background-compaction scheduler: all non-manual compaction
+    is enqueued as {!Pdb_compaction.Job.t}s and drained through it. *)
+val compaction_scheduler : t -> Pdb_compaction.Scheduler.t
 
 (** {1 Writes (§2.1, §3.4)} *)
 

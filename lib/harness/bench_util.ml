@@ -24,10 +24,7 @@ let measure (store : Dyn.dyn) ops f =
   let c1 = Clock.snapshot clock in
   let io1 = Pdb_simio.Io_stats.snapshot (Env.stats store.Dyn.d_env) in
   let delta = Clock.diff c1 c0 in
-  let elapsed =
-    Clock.elapsed_ns delta
-      ~threads:store.Dyn.d_options.Pdb_kvs.Options.compaction_threads
-  in
+  let elapsed = Clock.elapsed_ns delta in
   let io = Pdb_simio.Io_stats.diff io1 io0 in
   {
     ops;
@@ -140,6 +137,33 @@ let print_table ~title ~header rows =
   flush stdout
 
 let fmt_f ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+
+(** One-line background-scheduler summary for a store: jobs drained, peak
+    queue depth and backlog, footprint conflicts, per-worker utilization
+    (busy time over the background completion horizon), and stall-time
+    attribution.  Empty for engines without scheduled background work. *)
+let scheduler_summary (store : Dyn.dyn) =
+  let st = store.Dyn.d_stats () in
+  if st.Pdb_kvs.Engine_stats.compaction_jobs = 0 then ""
+  else begin
+    let horizon = (Env.clock store.Dyn.d_env).Clock.bg_horizon_ns in
+    let util =
+      Array.to_list st.Pdb_kvs.Engine_stats.worker_busy_ns
+      |> List.map (fun busy ->
+             Printf.sprintf "%.0f%%"
+               (if horizon <= 0.0 then 0.0 else 100.0 *. busy /. horizon))
+      |> String.concat " "
+    in
+    Printf.sprintf
+      "jobs=%d queue<=%d backlog<=%.1fMB conflicts=%d util=[%s] \
+       stall(slow/stop)=%.1f/%.1fms"
+      st.Pdb_kvs.Engine_stats.compaction_jobs
+      st.Pdb_kvs.Engine_stats.compaction_queue_peak
+      (mb st.Pdb_kvs.Engine_stats.compaction_backlog_peak_bytes)
+      st.Pdb_kvs.Engine_stats.compaction_serialized_jobs util
+      (st.Pdb_kvs.Engine_stats.stall_slowdown_ns /. 1e6)
+      (st.Pdb_kvs.Engine_stats.stall_stop_ns /. 1e6)
+  end
 
 (** Write amplification of a store at this instant: device writes over user
     payload. *)

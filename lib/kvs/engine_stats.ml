@@ -26,6 +26,16 @@ type t = {
   mutable seek_compactions : int;  (** FLSM only *)
   mutable write_breakdown : (string * int) list;
       (** bytes written per compaction category (diagnostics) *)
+  (* background-scheduler counters, mirrored from the compaction
+     scheduler when an engine reports stats *)
+  mutable compaction_jobs : int;  (** jobs drained by the scheduler *)
+  mutable compaction_queue_peak : int;  (** max pending jobs observed *)
+  mutable compaction_backlog_peak_bytes : int;
+  mutable compaction_serialized_jobs : int;
+      (** jobs delayed by a conflicting footprint *)
+  mutable stall_slowdown_ns : float;
+  mutable stall_stop_ns : float;
+  mutable worker_busy_ns : float array;  (** per-lane busy time *)
 }
 
 let bump_breakdown t category bytes =
@@ -59,6 +69,13 @@ let create () =
     guards_empty = 0;
     seek_compactions = 0;
     write_breakdown = [];
+    compaction_jobs = 0;
+    compaction_queue_peak = 0;
+    compaction_backlog_peak_bytes = 0;
+    compaction_serialized_jobs = 0;
+    stall_slowdown_ns = 0.0;
+    stall_stop_ns = 0.0;
+    worker_busy_ns = [||];
   }
 
 let pp ppf t =

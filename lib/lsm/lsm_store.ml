@@ -18,12 +18,16 @@ module Device = Pdb_simio.Device
 module Table = Pdb_sstable.Table
 module Wal = Pdb_wal.Wal
 module Manifest = Pdb_manifest.Manifest
+module Job = Pdb_compaction.Job
+module Scheduler = Pdb_compaction.Scheduler
+module Sched = Pdb_simio.Sched
 
 type t = {
   opts : O.t;
   env : Env.t;
   dir : string;
   clock : Clock.t;
+  sched : Scheduler.t; (* shared background-compaction scheduler *)
   stats : Pdb_kvs.Engine_stats.t;
   table_cache : Pdb_sstable.Table_cache.t;
   block_cache : Pdb_sstable.Block_cache.t;
@@ -166,13 +170,25 @@ let build_table_from_iter t ~iter ~level:_ =
 let rec flush_memtable t =
   if not (Pdb_kvs.Memtable.is_empty t.mem) then begin
     let mem = t.mem in
-    let meta =
-      Clock.with_background t.clock (fun () ->
-          build_table_from_iter t ~level:0 ~iter:(fun f ->
-              List.iter
-                (fun (ik, v) -> f ik v)
-                (Pdb_kvs.Memtable.contents mem)))
-    in
+    (* the flush is a background job: the scheduler runs it immediately
+       (a full memtable gates the triggering write) and places its
+       device time on a worker lane *)
+    let meta = ref None in
+    Scheduler.run_now t.sched
+      {
+        Job.key = "flush";
+        trigger = Job.Memtable_full;
+        estimated_bytes = Pdb_kvs.Memtable.approximate_bytes mem;
+        footprint = Sched.full_range ~level_lo:0 ~level_hi:0;
+        run =
+          (fun () ->
+            meta :=
+              build_table_from_iter t ~level:0 ~iter:(fun f ->
+                  List.iter
+                    (fun (ik, v) -> f ik v)
+                    (Pdb_kvs.Memtable.contents mem)));
+      };
+    let meta = !meta in
     (match meta with
      | Some meta ->
        t.levels.(0) <- meta :: t.levels.(0);
@@ -212,17 +228,6 @@ and compaction_score t level =
   else
     float_of_int (level_bytes t level)
     /. float_of_int (O.level_max_bytes t.opts level)
-
-and pick_compaction_level t =
-  let best = ref (-1) and best_score = ref 0.999 in
-  for level = 0 to t.opts.O.max_levels - 2 do
-    let score = compaction_score t level in
-    if score > !best_score then begin
-      best := level;
-      best_score := score
-    end
-  done;
-  if !best >= 0 then Some !best else None
 
 and pick_inputs t level =
   if level = 0 then begin
@@ -462,19 +467,76 @@ and compact_level t level =
       e.Manifest.added_files <- [ (level + 1, single) ];
       Manifest.append t.manifest e
     | _ ->
-      let outputs =
-        Clock.with_background t.clock (fun () ->
-            run_merge t ~inputs_lo ~inputs_hi ~target_level:(level + 1))
-      in
+      (* the caller (a scheduler-drained job) is already on the
+         background lane *)
+      let outputs = run_merge t ~inputs_lo ~inputs_hi ~target_level:(level + 1) in
       install_compaction t ~level ~inputs_lo ~inputs_hi ~outputs
   end
 
+(* Footprint of a level -> level+1 compaction: the union key range of the
+   level's files.  The actual inputs are picked when the job runs; the
+   whole-level range is a sound over-approximation — and an honest one:
+   leveled compactions span wide ranges, which is exactly why they
+   serialise on the worker timelines where FLSM's guard jobs overlap. *)
+and level_footprint t level =
+  match t.levels.(level) with
+  | [] -> Sched.full_range ~level_lo:level ~level_hi:(level + 1)
+  | files ->
+    let smallest, largest = input_user_range files in
+    {
+      Sched.level_lo = level;
+      level_hi = level + 1;
+      key_lo = smallest;
+      key_hi = Some (largest ^ "\x00") (* inclusive -> exclusive bound *);
+    }
+
+and submit_level_job t ~blocked level =
+  let trigger = if level = 0 then Job.L0_files else Job.Level_size in
+  ignore
+    (Scheduler.submit t.sched
+       {
+         Job.key = Printf.sprintf "%s:%d" (Job.trigger_name trigger) level;
+         trigger;
+         estimated_bytes = level_bytes t level;
+         footprint = level_footprint t level;
+         run =
+           (fun () ->
+             (* re-check: an earlier job in this round's queue may have
+                already relieved (or blocked) this level *)
+             if
+               (not (Hashtbl.mem blocked level))
+               && compaction_score t level > 0.999
+             then compact_level t level);
+       })
+
 and maybe_compact t =
-  match pick_compaction_level t with
-  | Some level ->
-    compact_level t level;
-    maybe_compact t
-  | None -> ()
+  (* Round-based: enqueue a job for every level over threshold, drain
+     the queue, re-examine.  A level whose job made no progress is
+     blocked for the rest of this invocation. *)
+  let blocked = Hashtbl.create 4 in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let submitted = ref [] in
+    for level = 0 to t.opts.O.max_levels - 2 do
+      if (not (Hashtbl.mem blocked level)) && compaction_score t level > 0.999
+      then begin
+        submit_level_job t ~blocked level;
+        submitted :=
+          (level, (List.length t.levels.(level), level_bytes t level))
+          :: !submitted
+      end
+    done;
+    if !submitted <> [] then begin
+      Scheduler.drain t.sched;
+      List.iter
+        (fun (level, before) ->
+          let now = (List.length t.levels.(level), level_bytes t level) in
+          if now = before then Hashtbl.replace blocked level ())
+        !submitted;
+      continue_ := true
+    end
+  done
 
 (* ---------- open / close ---------- *)
 
@@ -502,6 +564,9 @@ let open_store (opts : O.t) ~env ~dir =
       env;
       dir;
       clock = Env.clock env;
+      sched =
+        Scheduler.create ~clock:(Env.clock env)
+          ~workers:opts.O.compaction_threads;
       stats = Pdb_kvs.Engine_stats.create ();
       table_cache =
         Pdb_sstable.Table_cache.create env ~dir
@@ -535,7 +600,22 @@ let close t =
 
 let options t = t.opts
 let env t = t.env
-let stats t = t.stats
+let compaction_scheduler t = t.sched
+
+(* mirror the scheduler's counters into the engine stats on read *)
+let stats t =
+  let st = t.stats in
+  let s = Scheduler.stats t.sched in
+  st.Pdb_kvs.Engine_stats.compaction_jobs <- s.Scheduler.jobs_run;
+  st.Pdb_kvs.Engine_stats.compaction_queue_peak <- s.Scheduler.queue_peak;
+  st.Pdb_kvs.Engine_stats.compaction_backlog_peak_bytes <-
+    s.Scheduler.backlog_peak_bytes;
+  st.Pdb_kvs.Engine_stats.compaction_serialized_jobs <-
+    Scheduler.serialized_jobs t.sched;
+  st.Pdb_kvs.Engine_stats.stall_slowdown_ns <- s.Scheduler.stall_slowdown_ns;
+  st.Pdb_kvs.Engine_stats.stall_stop_ns <- s.Scheduler.stall_stop_ns;
+  st.Pdb_kvs.Engine_stats.worker_busy_ns <- Scheduler.busy_ns t.sched;
+  st
 
 (* ---------- writes ---------- *)
 
@@ -558,9 +638,15 @@ let write t batch =
   t.consecutive_seeks <- 0;
   let count = Pdb_kvs.Write_batch.count batch in
   if count > 0 then begin
-    (* stall model: L0 back-pressure *)
-    if List.length t.levels.(0) >= t.opts.O.l0_slowdown then begin
-      Clock.stall t.clock (t.opts.O.slowdown_stall_ns *. float_of_int count);
+    (* stall model: back-pressure from the compaction backlog — L0 files
+       not yet pushed down plus jobs still pending in the queue *)
+    let backlog = List.length t.levels.(0) + Scheduler.pending t.sched in
+    if backlog >= t.opts.O.l0_slowdown then begin
+      let ns = t.opts.O.slowdown_stall_ns *. float_of_int count in
+      Clock.stall t.clock ns;
+      Scheduler.note_stall t.sched
+        (if backlog >= t.opts.O.l0_stop then `Stop else `Slowdown)
+        ns;
       t.stats.Pdb_kvs.Engine_stats.write_stalls <-
         t.stats.Pdb_kvs.Engine_stats.write_stalls + count
     end;
@@ -743,7 +829,16 @@ let note_seek t =
       && t.levels.(0) <> []
     then begin
       t.consecutive_seeks <- 0;
-      compact_level t 0
+      ignore
+        (Scheduler.submit t.sched
+           {
+             Job.key = "seek:0";
+             trigger = Job.Seek;
+             estimated_bytes = level_bytes t 0;
+             footprint = level_footprint t 0;
+             run = (fun () -> compact_level t 0);
+           });
+      Scheduler.drain t.sched
     end
   end
 
@@ -779,11 +874,24 @@ let compact_all t =
       let inputs_lo = t.levels.(level) in
       let smallest, largest = input_user_range inputs_lo in
       let inputs_hi = overlapping_files t (level + 1) ~smallest ~largest in
-      let outputs =
-        Clock.with_background t.clock (fun () ->
-            run_merge t ~inputs_lo ~inputs_hi ~target_level:(level + 1))
+      let bytes =
+        List.fold_left
+          (fun a (m : Table.meta) -> a + m.Table.file_size)
+          0 (inputs_lo @ inputs_hi)
       in
-      install_compaction t ~level ~inputs_lo ~inputs_hi ~outputs
+      Scheduler.run_now t.sched
+        {
+          Job.key = Printf.sprintf "manual:%d" level;
+          trigger = Job.Manual;
+          estimated_bytes = bytes;
+          footprint = level_footprint t level;
+          run =
+            (fun () ->
+              let outputs =
+                run_merge t ~inputs_lo ~inputs_hi ~target_level:(level + 1)
+              in
+              install_compaction t ~level ~inputs_lo ~inputs_hi ~outputs);
+        }
     done
   done;
   gc_obsolete t

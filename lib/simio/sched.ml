@@ -1,0 +1,104 @@
+(** Discrete-event placement of background work on N worker timelines.
+
+    The paper observes (§4.3) that FLSM compaction is trivially
+    parallelisable: disjoint guards can be compacted concurrently by
+    multiple threads.  This module models that: each completed unit of
+    background work (a compaction job, a memtable flush) is {e placed} on
+    one of [workers] timelines.  A job starts no earlier than
+
+    - its worker lane is free, and
+    - every previously placed job whose {!footprint} conflicts with it has
+      finished (jobs over disjoint guards / key ranges overlap freely;
+      jobs touching the same levels and overlapping key ranges
+      serialise).
+
+    The max over lanes of the last finish time is the background
+    completion horizon, pushed into {!Clock.note_bg_horizon} so that
+    {!Clock.elapsed_ns} reflects it.  Placement is deterministic (greedy
+    earliest-start, ties to the lowest lane index), so modeled time — and
+    everything else — is a pure function of the workload regardless of
+    worker count. *)
+
+type footprint = {
+  level_lo : int;
+  level_hi : int;  (** inclusive level span the job reads or writes *)
+  key_lo : string;
+  key_hi : string option;
+      (** exclusive user-key upper bound; [None] is +infinity *)
+}
+
+let full_range ~level_lo ~level_hi =
+  { level_lo; level_hi; key_lo = ""; key_hi = None }
+
+(** [conflicts a b] — same-level contact and overlapping key ranges. *)
+let conflicts a b =
+  a.level_lo <= b.level_hi && b.level_lo <= a.level_hi
+  && (match a.key_hi with
+     | None -> true
+     | Some hi -> String.compare b.key_lo hi < 0)
+  && (match b.key_hi with
+     | None -> true
+     | Some hi -> String.compare a.key_lo hi < 0)
+
+type t = {
+  clock : Clock.t;
+  free_at : float array; (* per-lane timeline frontier *)
+  busy_ns : float array; (* per-lane cumulative busy time *)
+  mutable placed : (footprint * float) list; (* recent jobs: finish times *)
+  mutable jobs_placed : int;
+  mutable serialized_jobs : int;
+      (* jobs whose start was delayed by a conflicting predecessor *)
+}
+
+let create ~clock ~workers =
+  let n = max 1 workers in
+  {
+    clock;
+    (* a fresh scheduler (e.g. a reopened store) starts at the clock's
+       current horizon: it cannot pack work into a closed store's past *)
+    free_at = Array.make n clock.Clock.bg_horizon_ns;
+    busy_ns = Array.make n 0.0;
+    placed = [];
+    jobs_placed = 0;
+    serialized_jobs = 0;
+  }
+
+let workers t = Array.length t.free_at
+let busy_ns t = Array.copy t.busy_ns
+let jobs_placed t = t.jobs_placed
+let serialized_jobs t = t.serialized_jobs
+
+let horizon_ns t = Array.fold_left Float.max 0.0 t.free_at
+
+(** [place t fp ~duration_ns] puts a completed unit of work on the lane
+    that lets it finish earliest, honouring footprint conflicts; returns
+    the modeled finish time. *)
+let place t fp ~duration_ns =
+  let blocked_until =
+    List.fold_left
+      (fun acc (g, fin) -> if conflicts fp g then Float.max acc fin else acc)
+      0.0 t.placed
+  in
+  let lane = ref 0 and start = ref infinity in
+  Array.iteri
+    (fun i free ->
+      let s = Float.max free blocked_until in
+      if s < !start then begin
+        lane := i;
+        start := s
+      end)
+    t.free_at;
+  (* serialized = the conflict pushed the start past the earliest free
+     lane, i.e. an idle worker could not be used *)
+  if blocked_until > Array.fold_left Float.min infinity t.free_at then
+    t.serialized_jobs <- t.serialized_jobs + 1;
+  let finish = !start +. duration_ns in
+  t.free_at.(!lane) <- finish;
+  t.busy_ns.(!lane) <- t.busy_ns.(!lane) +. duration_ns;
+  t.jobs_placed <- t.jobs_placed + 1;
+  (* a past job finishing at or before every lane frontier can no longer
+     delay anything: each new job starts at or after its lane's frontier *)
+  let floor = Array.fold_left Float.min infinity t.free_at in
+  t.placed <- (fp, finish) :: List.filter (fun (_, f) -> f > floor) t.placed;
+  Clock.note_bg_horizon t.clock finish;
+  finish

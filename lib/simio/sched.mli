@@ -1,0 +1,49 @@
+(** Discrete-event placement of background work on N worker timelines.
+
+    Models the paper's guard-parallel compaction (§4.3): completed units
+    of background work are placed on per-worker timelines, jobs with
+    disjoint level/key-range footprints overlap, conflicting jobs
+    serialise, and the max finish over all lanes becomes the clock's
+    background completion horizon ({!Clock.note_bg_horizon}).
+
+    Placement is deterministic and never affects store state — only
+    modeled time — so results are byte-identical across worker counts. *)
+
+type footprint = {
+  level_lo : int;
+  level_hi : int;  (** inclusive level span the job reads or writes *)
+  key_lo : string;
+  key_hi : string option;
+      (** exclusive user-key upper bound; [None] is +infinity *)
+}
+
+val full_range : level_lo:int -> level_hi:int -> footprint
+(** Footprint spanning the whole key space of a level span. *)
+
+val conflicts : footprint -> footprint -> bool
+(** [conflicts a b] iff the level spans intersect and the key ranges
+    overlap — such jobs must serialise on the worker timelines. *)
+
+type t
+
+val create : clock:Clock.t -> workers:int -> t
+(** [create ~clock ~workers] makes a scheduler with [max 1 workers]
+    lanes, all free at the clock's current background horizon. *)
+
+val workers : t -> int
+val busy_ns : t -> float array
+(** Per-lane cumulative busy time (copy). *)
+
+val jobs_placed : t -> int
+val serialized_jobs : t -> int
+(** Jobs whose start was delayed past their lane frontier by a
+    conflicting predecessor. *)
+
+val horizon_ns : t -> float
+(** Max finish time over all lanes. *)
+
+val place : t -> footprint -> duration_ns:float -> float
+(** [place t fp ~duration_ns] assigns the job to the lane that lets it
+    finish earliest (ties to the lowest index), no earlier than the
+    finish of any conflicting placed job; returns the finish time and
+    raises the clock's background horizon to it. *)

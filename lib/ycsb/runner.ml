@@ -36,8 +36,8 @@ type result = {
 
 let make_value rng n = Pdb_util.Rng.alpha rng n
 
-(* Measure a phase: simulated elapsed via the clock lanes (threads = the
-   profile's compaction threads), IO via the env counters. *)
+(* Measure a phase: simulated elapsed via the clock lanes (background
+   completion = per-worker timeline horizon), IO via the env counters. *)
 let measure (store : Dyn.dyn) name f =
   let clock = Pdb_simio.Env.clock store.Dyn.d_env in
   let io0 = Pdb_simio.Io_stats.snapshot (Pdb_simio.Env.stats store.Dyn.d_env) in
@@ -46,10 +46,7 @@ let measure (store : Dyn.dyn) name f =
   let c1 = Clock.snapshot clock in
   let io1 = Pdb_simio.Io_stats.snapshot (Pdb_simio.Env.stats store.Dyn.d_env) in
   let delta = Clock.diff c1 c0 in
-  let elapsed =
-    Clock.elapsed_ns delta
-      ~threads:store.Dyn.d_options.Pdb_kvs.Options.compaction_threads
-  in
+  let elapsed = Clock.elapsed_ns delta in
   let io = Pdb_simio.Io_stats.diff io1 io0 in
   {
     phase = name;

@@ -98,19 +98,78 @@ let test_clock_lanes () =
     snap1.Clock.foreground_ns snap2.Clock.foreground_ns
 
 let test_clock_elapsed_model () =
-  (* device IO serialises (fg + bg/threads); CPU overlaps with IO *)
+  (* foreground IO serialises with the background completion horizon
+     (per-worker timelines); CPU overlaps with IO; stalls add on *)
   let c = Clock.create () in
   Clock.advance c 100.0;
   Clock.advance_cpu c 500.0;
   Clock.with_background c (fun () -> Clock.advance c 1000.0);
+  Clock.note_bg_horizon c 1000.0;
   let s = Clock.snapshot c in
-  check (Alcotest.float 0.001) "device-bound with 1 thread" 1100.0
-    (Clock.elapsed_ns s ~threads:1);
-  check (Alcotest.float 0.001) "cpu-bound with many threads" 500.0
-    (Clock.elapsed_ns s ~threads:100);
+  check (Alcotest.float 0.001) "device-bound" 1100.0 (Clock.elapsed_ns s);
   Clock.stall c 50.0;
   check (Alcotest.float 0.001) "stalls add on" 1150.0
-    (Clock.elapsed_ns (Clock.snapshot c) ~threads:1)
+    (Clock.elapsed_ns (Clock.snapshot c));
+  (* a store with no background work is bound by max(cpu, fg) *)
+  let c2 = Clock.create () in
+  Clock.advance c2 100.0;
+  Clock.advance_cpu c2 500.0;
+  check (Alcotest.float 0.001) "cpu-bound without bg work" 500.0
+    (Clock.elapsed_ns (Clock.snapshot c2))
+
+(* ---------- worker-lane scheduler (Sched) ---------- *)
+
+let fp ?(key_lo = "") ?key_hi level =
+  { Sched.level_lo = level; level_hi = level; key_lo; key_hi }
+
+let test_sched_conflicts () =
+  (* same level, overlapping key ranges -> conflict *)
+  Alcotest.(check bool) "overlap same level" true
+    (Sched.conflicts
+       (fp 1 ~key_lo:"a" ~key_hi:"m")
+       (fp 1 ~key_lo:"g" ~key_hi:"z"));
+  (* disjoint key ranges -> no conflict *)
+  Alcotest.(check bool) "disjoint ranges" false
+    (Sched.conflicts
+       (fp 1 ~key_lo:"a" ~key_hi:"g")
+       (fp 1 ~key_lo:"g" ~key_hi:"z"));
+  (* disjoint levels -> no conflict *)
+  Alcotest.(check bool) "disjoint levels" false
+    (Sched.conflicts (fp 1 ~key_lo:"a") (fp 2 ~key_lo:"a"));
+  (* None upper bound = +infinity *)
+  Alcotest.(check bool) "open upper bound" true
+    (Sched.conflicts (fp 1 ~key_lo:"a") (fp 1 ~key_lo:"zzz"))
+
+let test_sched_disjoint_jobs_overlap () =
+  let clock = Clock.create () in
+  let s = Sched.create ~clock ~workers:2 in
+  let f1 = Sched.place s (fp 2 ~key_lo:"a" ~key_hi:"g") ~duration_ns:100.0 in
+  let f2 = Sched.place s (fp 2 ~key_lo:"g" ~key_hi:"p") ~duration_ns:100.0 in
+  check (Alcotest.float 0.001) "first lane" 100.0 f1;
+  check (Alcotest.float 0.001) "second lane runs concurrently" 100.0 f2;
+  check (Alcotest.float 0.001) "horizon is the max finish" 100.0
+    (Sched.horizon_ns s);
+  check Alcotest.int "no serialization" 0 (Sched.serialized_jobs s)
+
+let test_sched_conflicting_jobs_serialize () =
+  let clock = Clock.create () in
+  let s = Sched.create ~clock ~workers:2 in
+  (* overlapping guard ranges on the same level must serialise even though
+     a second worker lane is idle *)
+  let f1 = Sched.place s (fp 2 ~key_lo:"a" ~key_hi:"m") ~duration_ns:100.0 in
+  let f2 = Sched.place s (fp 2 ~key_lo:"g" ~key_hi:"z") ~duration_ns:50.0 in
+  check (Alcotest.float 0.001) "first finishes" 100.0 f1;
+  check (Alcotest.float 0.001) "second waits for the first" 150.0 f2;
+  check Alcotest.int "serialization counted" 1 (Sched.serialized_jobs s);
+  check (Alcotest.float 0.001) "clock horizon tracks" 150.0
+    clock.Clock.bg_horizon_ns
+
+let test_sched_single_worker_packs_sequentially () =
+  let clock = Clock.create () in
+  let s = Sched.create ~clock ~workers:1 in
+  ignore (Sched.place s (fp 1 ~key_lo:"a" ~key_hi:"b") ~duration_ns:100.0);
+  let f = Sched.place s (fp 1 ~key_lo:"x" ~key_hi:"y") ~duration_ns:100.0 in
+  check (Alcotest.float 0.001) "disjoint jobs still queue on one lane" 200.0 f
 
 let test_device_aging () =
   let d = Device.ssd () in
@@ -160,5 +219,15 @@ let () =
           Alcotest.test_case "elapsed model" `Quick test_clock_elapsed_model;
           Alcotest.test_case "aging" `Quick test_device_aging;
           Alcotest.test_case "read hints" `Quick test_device_read_hints;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "footprint conflicts" `Quick test_sched_conflicts;
+          Alcotest.test_case "disjoint jobs overlap" `Quick
+            test_sched_disjoint_jobs_overlap;
+          Alcotest.test_case "conflicting jobs serialize" `Quick
+            test_sched_conflicting_jobs_serialize;
+          Alcotest.test_case "single worker packs sequentially" `Quick
+            test_sched_single_worker_packs_sequentially;
         ] );
     ]
