@@ -98,7 +98,7 @@ let () =
   Pdb_wal.Wal.Writer.add_record w "a small record";
   Pdb_wal.Wal.Writer.add_record w (String.make 40_000 'x');
   Pdb_wal.Wal.Writer.close w;
-  let records = Pdb_wal.Wal.Reader.read_all env "demo.log" in
+  let records, _report = Pdb_wal.Wal.Reader.read_all env "demo.log" in
   Printf.printf
     "  wrote 2 records (one spanning two 32KB blocks); reader recovered %d \
      records of sizes %s\n"

@@ -205,17 +205,24 @@ let open_store ?(mode = Write_through) (opts : O.t) ~env ~dir =
     t.next_page <- Pdb_util.Varint.get_fixed32 header 4;
     t.count <- Pdb_util.Varint.get_fixed32 header 8
   end
-  else begin
-    t.root <- alloc_page t (Leaf { entries = []; next = -1 });
-    write_page t t.root;
-    write_header t
-  end;
+  else
+    Env.with_atomic env (fun () ->
+        t.root <- alloc_page t (Leaf { entries = []; next = -1 });
+        write_page t t.root;
+        write_header t);
   t
 
+(* A checkpoint is modeled as atomic with respect to injected crashes:
+   real page stores make it so with their own page-level journaling, which
+   this simulation does not reproduce.  Without the atomic section a crash
+   halfway through the page sweep would leave a structurally inconsistent
+   tree (new header over old pages or vice versa), a failure mode of the
+   page store's journal rather than of the engines under test. *)
 let flush_dirty t =
-  Hashtbl.iter (fun id () -> write_page t id) t.dirty;
-  Hashtbl.reset t.dirty;
-  write_header t
+  Env.with_atomic t.env (fun () ->
+      Hashtbl.iter (fun id () -> write_page t id) t.dirty;
+      Hashtbl.reset t.dirty;
+      write_header t)
 
 let close t =
   flush_dirty t;

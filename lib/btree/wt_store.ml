@@ -22,41 +22,71 @@ type t = {
 
 let journal_name dir n = Printf.sprintf "%s/journal-%06d.log" dir n
 
+(* Journals surviving from a crashed incarnation, oldest first, with the
+   highest number seen (fresh journals must be numbered above every
+   survivor — recreating a survivor's name would truncate it before its
+   records were replayed). *)
+let surviving_journals env ~dir =
+  let prefix = dir ^ "/journal-" in
+  let plen = String.length prefix in
+  let names =
+    List.filter
+      (fun name ->
+        String.length name > plen
+        && String.sub name 0 plen = prefix
+        && Filename.check_suffix name ".log")
+      (List.sort compare (Env.list env))
+  in
+  let max_n =
+    List.fold_left
+      (fun acc name ->
+        let stem =
+          Filename.chop_suffix
+            (String.sub name plen (String.length name - plen))
+            ".log"
+        in
+        match int_of_string_opt stem with Some n -> max acc n | None -> acc)
+      (-1) names
+  in
+  (names, max_n)
+
 let open_store (opts : O.t) ~env ~dir =
   let tree = Bptree.open_store ~mode:Bptree.Buffered opts ~env ~dir in
-  (* replay a surviving journal (crash recovery) *)
-  let t =
-    {
-      opts;
-      env;
-      dir;
-      tree;
-      journal = Pdb_wal.Wal.Writer.create env (journal_name dir 0);
-      journal_number = 0;
-      closed = false;
-    }
-  in
-  (* look for the most recent journal left behind *)
+  let journals, max_n = surviving_journals env ~dir in
+  let stats = Bptree.stats tree in
+  (* replay surviving journals oldest-first (crash recovery) *)
   List.iter
     (fun name ->
-      if
-        String.length name > String.length dir
-        && String.sub name 0 (String.length dir) = dir
-        && Filename.check_suffix name ".log"
-        && name <> journal_name dir 0
-      then begin
-        let records = Pdb_wal.Wal.Reader.read_all env name in
-        List.iter
-          (fun record ->
-            match Pdb_kvs.Write_batch.decode record with
-            | exception Invalid_argument _ -> ()
-            | batch, _ -> Bptree.write tree batch)
-          records;
-        Env.delete env name
-      end)
-    (List.sort compare (Env.list env));
+      let records, (report : Pdb_wal.Wal.Reader.report) =
+        Pdb_wal.Wal.Reader.read_all env name
+      in
+      stats.Pdb_kvs.Engine_stats.wal_records_recovered <-
+        stats.Pdb_kvs.Engine_stats.wal_records_recovered
+        + report.Pdb_wal.Wal.Reader.records_read;
+      stats.Pdb_kvs.Engine_stats.wal_bytes_dropped <-
+        stats.Pdb_kvs.Engine_stats.wal_bytes_dropped
+        + report.Pdb_wal.Wal.Reader.bytes_dropped;
+      List.iter
+        (fun record ->
+          match Pdb_kvs.Write_batch.decode record with
+          | exception Invalid_argument _ -> ()
+          | batch, _ -> Bptree.write tree batch)
+        records)
+    journals;
+  (* checkpoint the replayed data before retiring the journals: deleting
+     first would lose acked writes to a crash during recovery *)
   Bptree.flush tree;
-  t
+  List.iter (fun name -> Env.delete env name) journals;
+  let journal_number = max_n + 1 in
+  {
+    opts;
+    env;
+    dir;
+    tree;
+    journal = Pdb_wal.Wal.Writer.create env (journal_name dir journal_number);
+    journal_number;
+    closed = false;
+  }
 
 let checkpoint t =
   Bptree.flush t.tree;
@@ -73,6 +103,9 @@ let write t batch =
   assert (not t.closed);
   Pdb_wal.Wal.Writer.add_record t.journal
     (Pdb_kvs.Write_batch.encode batch ~base_seq:0);
+  (* honour the durability profile: without the sync, an acked write is
+     lost whenever a crash beats the next checkpoint *)
+  if t.opts.O.wal_sync_writes then Pdb_wal.Wal.Writer.sync t.journal;
   Bptree.write t.tree batch;
   maybe_checkpoint t
 

@@ -135,7 +135,10 @@ let rec flush_memtable t =
        t.stats.Stats.flushes <- t.stats.Stats.flushes + 1;
        t.stats.Stats.sstables_built <- t.stats.Stats.sstables_built + 1
      | None -> ());
-    Env.delete t.env (log_name t.dir t.wal_number);
+    (* rotate the WAL: the old log may only be deleted once the manifest
+       edit naming its successor (and the flushed table) is durable —
+       deleting first would lose the memtable to a crash in between *)
+    let old_log = t.wal_number in
     let new_log = new_file_number t in
     t.wal <- Wal.Writer.create t.env (log_name t.dir new_log);
     t.wal_number <- new_log;
@@ -148,6 +151,7 @@ let rec flush_memtable t =
      | Some m -> e.Manifest.added_files <- [ (0, m) ]
      | None -> ());
     Manifest.append t.manifest e;
+    Env.delete t.env (log_name t.dir old_log);
     maybe_compact t
   end
 
@@ -863,29 +867,50 @@ let apply_edit ~l0 ~levels ~committed ~wal_number ~next_file ~last_seq
       else Guard.attach levels.(level) meta)
     e.Manifest.added_files
 
-let snapshot_edit t =
+(* Component-based so [open_store] can build the snapshot before the
+   store record exists: the snapshot must be part of the fresh MANIFEST at
+   creation time, or a crash between install and a follow-up append would
+   leave an installed MANIFEST describing an empty store. *)
+let snapshot_edit ~(opts : O.t) ~l0 ~levels ~log_number ~next_file ~last_seq =
+  let levels_above = opts.O.max_levels - 1 in
   let e = Manifest.empty_edit () in
-  e.Manifest.log_number <- Some t.wal_number;
-  e.Manifest.next_file_number <- Some t.next_file;
-  e.Manifest.last_sequence <- Some t.last_seq;
+  e.Manifest.log_number <- Some log_number;
+  e.Manifest.next_file_number <- Some next_file;
+  e.Manifest.last_sequence <- Some last_seq;
   e.Manifest.added_guards <-
     List.concat
-      (List.init (last_level t) (fun i ->
+      (List.init levels_above (fun i ->
            let level = i + 1 in
-           Array.to_list t.levels.(level).Guard.guards
+           Array.to_list levels.(level).Guard.guards
            |> List.filter_map (fun g ->
                   if g.Guard.gkey = "" then None
                   else Some (level, g.Guard.gkey))));
   e.Manifest.added_files <-
-    List.map (fun m -> (0, m)) (List.rev t.l0)
+    List.map (fun m -> (0, m)) (List.rev l0)
     @ List.concat
-        (List.init (last_level t) (fun i ->
+        (List.init levels_above (fun i ->
              let level = i + 1 in
              (* oldest-first so recovery prepends back to newest-first *)
-             Array.to_list t.levels.(level).Guard.guards
+             Array.to_list levels.(level).Guard.guards
              |> List.concat_map (fun g ->
                     List.rev_map (fun m -> (level, m)) g.Guard.tables)));
   e
+
+(* Re-log a recovered memtable into a fresh WAL and sync it: the old log
+   may only be deleted once every record it held is durable again. *)
+let relog_memtable wal mem =
+  if not (Pdb_kvs.Memtable.is_empty mem) then begin
+    List.iter
+      (fun (ik, v) ->
+        let b = Pdb_kvs.Write_batch.create () in
+        (match Ik.kind ik with
+         | Ik.Value -> Pdb_kvs.Write_batch.put b (Ik.user_key ik) v
+         | Ik.Deletion -> Pdb_kvs.Write_batch.delete b (Ik.user_key ik));
+        Wal.Writer.add_record wal
+          (Pdb_kvs.Write_batch.encode b ~base_seq:(Ik.seq ik)))
+      (Pdb_kvs.Memtable.contents mem);
+    Wal.Writer.sync wal
+  end
 
 let open_store (opts : O.t) ~env ~dir =
   let levels = Array.init opts.O.max_levels (fun _ -> Guard.create_level ()) in
@@ -893,6 +918,7 @@ let open_store (opts : O.t) ~env ~dir =
   let l0 = ref [] in
   let wal_number = ref 0 and next_file = ref 1 and last_seq = ref 0 in
   let mem = Pdb_kvs.Memtable.create () in
+  let wal_report = ref None in
   (match Manifest.recover env ~dir with
    | Some (_, edits) ->
      List.iter
@@ -904,10 +930,13 @@ let open_store (opts : O.t) ~env ~dir =
          (fun (a : Table.meta) (b : Table.meta) ->
            Int.compare b.Table.number a.Table.number)
          !l0;
-     (* replay WAL into the memtable *)
+     (* replay WAL into the memtable; the old log is deleted only after
+        its records are durable in the fresh WAL and the fresh MANIFEST
+        is installed (see below) *)
      let name = log_name dir !wal_number in
      if Env.exists env name then begin
-       let records = Wal.Reader.read_all env name in
+       let records, report = Wal.Reader.read_all env name in
+       wal_report := Some report;
        List.iter
          (fun record ->
            match Pdb_kvs.Write_batch.decode record with
@@ -924,8 +953,7 @@ let open_store (opts : O.t) ~env ~dir =
                       ~user_key:k ~value:"");
                  incr seq);
              last_seq := max !last_seq (!seq - 1))
-         records;
-       Env.delete env name
+         records
      end
    | None -> ());
   let new_log = !next_file in
@@ -933,6 +961,11 @@ let open_store (opts : O.t) ~env ~dir =
   let manifest_number = !next_file in
   incr next_file;
   let wal = Wal.Writer.create env (log_name dir new_log) in
+  relog_memtable wal mem;
+  let snap =
+    snapshot_edit ~opts ~l0:!l0 ~levels ~log_number:new_log
+      ~next_file:!next_file ~last_seq:!last_seq
+  in
   let t =
     {
       opts;
@@ -951,7 +984,8 @@ let open_store (opts : O.t) ~env ~dir =
       mem;
       wal;
       wal_number = new_log;
-      manifest = Manifest.create env ~dir ~number:manifest_number ~edits:[];
+      manifest = Manifest.create env ~dir ~number:manifest_number
+          ~edits:[ snap ];
       next_file = !next_file;
       last_seq = !last_seq;
       l0 = !l0;
@@ -976,7 +1010,15 @@ let open_store (opts : O.t) ~env ~dir =
         done)
       t.committed.(level)
   done;
-  Manifest.append t.manifest (snapshot_edit t);
+  (match !wal_report with
+   | Some (r : Wal.Reader.report) ->
+     t.stats.Stats.wal_records_recovered <- r.Wal.Reader.records_read;
+     t.stats.Stats.wal_bytes_dropped <- r.Wal.Reader.bytes_dropped
+   | None -> ());
+  (* the fresh MANIFEST is installed and the fresh WAL holds every
+     recovered record: the crashed incarnation's files are now garbage *)
+  Manifest.cleanup_stale env ~dir ~live_log_number:new_log
+    ~live_manifest:(Manifest.file_name t.manifest);
   if Pdb_kvs.Memtable.approximate_bytes t.mem >= t.opts.O.memtable_bytes then
     flush_memtable t;
   t

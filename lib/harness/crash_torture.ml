@@ -1,0 +1,257 @@
+(** Recovery torture: crash-point sweeps against an in-memory oracle.
+
+    A seeded operation trace is run against an engine whose environment
+    carries a {!Pdb_simio.Env.Fault_plan}; the plan crashes the run at the
+    Nth IO event, with torn writes at block granularity and occasional
+    garbled tails.  The store is then reopened over the crashed file
+    system and its recovered contents are checked against a pure
+    in-memory oracle of the acknowledged operations:
+
+    - every acknowledged write (the stores run with [wal_sync_writes])
+      must be present with its exact value;
+    - the single operation in flight at the crash may be present or
+      absent, but nothing else may differ — no phantom keys, no resurrected
+      deletes, no reordered overwrites;
+    - iteration must agree with point lookups and stay strictly sorted.
+
+    Sweeping N across the whole trace visits every crash point the trace
+    can produce: mid-append, after the Nth sync, between a MANIFEST rename
+    and the WAL creation that follows it, inside background flush and
+    compaction jobs.  Every 7th point also arms a second plan during
+    recovery itself (crash-during-recovery, and recovery-after-that). *)
+
+module Env = Pdb_simio.Env
+module Dyn = Pdb_kvs.Store_intf
+module O = Pdb_kvs.Options
+module Rng = Pdb_util.Rng
+
+type op =
+  | Put of string * string
+  | Delete of string
+  | Flush
+  | Compact
+
+let op_name = function
+  | Put (k, _) -> "put " ^ k
+  | Delete k -> "delete " ^ k
+  | Flush -> "flush"
+  | Compact -> "compact"
+
+let key i = Printf.sprintf "key%03d" i
+
+(** Seeded trace over a small keyspace: mostly puts, some deletes, the
+    occasional explicit flush or full compaction (which exercises the
+    background scheduler's crash points). *)
+let gen_trace ~seed ~ops ~keyspace =
+  let rng = Rng.create seed in
+  List.init ops (fun i ->
+      let k = key (Rng.int rng keyspace) in
+      match Rng.int rng 20 with
+      | 0 -> Flush
+      | 1 -> Compact
+      | r when r < 5 -> Delete k
+      | _ -> Put (k, Printf.sprintf "v%06d-%s" i k))
+
+(* Durability profile for the sweep: acked writes are synced (so the
+   oracle may demand them back) and the memtable is small enough that a
+   short trace crosses flush/compaction machinery many times. *)
+let tweak (o : O.t) =
+  { o with O.memtable_bytes = 2048; wal_sync_writes = true }
+
+let apply (db : Dyn.dyn) = function
+  | Put (k, v) -> db.Dyn.d_put k v
+  | Delete k -> db.Dyn.d_delete k
+  | Flush -> db.Dyn.d_flush ()
+  | Compact -> db.Dyn.d_compact_all ()
+
+let oracle_apply oracle = function
+  | Put (k, v) -> Hashtbl.replace oracle k v
+  | Delete k -> Hashtbl.remove oracle k
+  | Flush | Compact -> ()
+
+(* Run the trace, acking each op into the oracle only after the engine
+   returns.  On an injected crash, the raising op is the single in-flight
+   op whose effect is allowed to be either present or absent. *)
+let run_trace db oracle trace =
+  let rec go = function
+    | [] -> None
+    | op :: rest -> (
+      match apply db op with
+      | () ->
+        oracle_apply oracle op;
+        go rest
+      | exception Env.Injected_crash _ -> Some op)
+  in
+  go trace
+
+(** [count_events engine ~seed ~trace] runs the whole trace under a plan
+    that never fires, counting every IO event — the number of distinct
+    crash points the sweep can target. *)
+let count_events engine ~seed ~trace =
+  let env = Env.create () in
+  let plan = Env.Fault_plan.create ~seed ~crash_after:max_int () in
+  Env.set_fault_plan env plan;
+  let db = Stores.open_engine ~tweak ~env engine in
+  let oracle = Hashtbl.create 64 in
+  (match run_trace db oracle trace with
+   | None -> ()
+   | Some op -> failwith ("count_events: unexpected crash at " ^ op_name op));
+  (* read the count before close: the sweep crashes instead of closing,
+     so close-time IO events are not reachable crash points *)
+  let ticks = Env.Fault_plan.ticks plan in
+  db.Dyn.d_close ();
+  ticks
+
+(* What recovery is allowed to return for [k]: the oracle's view, or — for
+   the key touched by the in-flight op — the in-flight view. *)
+let acceptable oracle in_flight k =
+  let base = Hashtbl.find_opt oracle k in
+  let alt =
+    match in_flight with
+    | Some (Put (k', v)) when k' = k -> Some (Some v)
+    | Some (Delete k') when k' = k -> Some None
+    | _ -> None
+  in
+  (base, alt)
+
+let matches got (base, alt) =
+  got = base || (match alt with Some a -> got = a | None -> false)
+
+let show = function None -> "<absent>" | Some v -> v
+
+(* Check every key by point lookup, then sweep the iterator for phantom or
+   reordered entries.  Returns failure descriptions. *)
+let verify (db : Dyn.dyn) oracle in_flight ~keyspace =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  for i = 0 to keyspace - 1 do
+    let k = key i in
+    let want = acceptable oracle in_flight k in
+    let got = db.Dyn.d_get k in
+    if not (matches got want) then
+      err "get %s: recovered %s, oracle %s" k (show got) (show (fst want))
+  done;
+  let it = db.Dyn.d_iterator () in
+  let prev = ref "" in
+  let seen = Hashtbl.create 64 in
+  it.Pdb_kvs.Iter.seek_to_first ();
+  while it.Pdb_kvs.Iter.valid () do
+    let k = it.Pdb_kvs.Iter.key () and v = it.Pdb_kvs.Iter.value () in
+    if !prev <> "" && String.compare !prev k >= 0 then
+      err "iterator order violated: %s then %s" !prev k;
+    prev := k;
+    Hashtbl.replace seen k ();
+    if not (matches (Some v) (acceptable oracle in_flight k)) then
+      err "iterator phantom %s=%s" k v;
+    it.Pdb_kvs.Iter.next ()
+  done;
+  Hashtbl.iter
+    (fun k v ->
+      ignore v;
+      if
+        (not (Hashtbl.mem seen k))
+        && not (matches None (acceptable oracle in_flight k))
+      then err "iterator missed %s" k)
+    oracle;
+  (try db.Dyn.d_check_invariants () with
+   | Failure m -> err "invariant violated after recovery: %s" m);
+  List.rev !errors
+
+type result = {
+  engine : string;
+  total_events : int;  (** IO events in a crash-free run of the trace *)
+  crash_points : int;  (** distinct crash points actually swept *)
+  double_crashes : int;  (** points that also crashed during recovery *)
+  background_crashes : int;  (** crashes that fired in background jobs *)
+  torn_crashes : int;  (** crashes that partially persisted unsynced data *)
+  failures : (int * string) list;  (** (crash point, what went wrong) *)
+}
+
+(** [run ?seed ?ops ?keyspace ?max_points engine] sweeps crash points
+    across the trace and verifies recovery at each.  [max_points] bounds
+    the sweep (evenly strided across all events). *)
+let run ?(seed = 0xFA17) ?(ops = 140) ?(keyspace = 48) ?(max_points = 64)
+    engine =
+  let trace = gen_trace ~seed ~ops ~keyspace in
+  let total_events = count_events engine ~seed ~trace in
+  let stride = max 1 (total_events / max_points) in
+  let crash_points = ref 0 in
+  let double_crashes = ref 0 in
+  let background_crashes = ref 0 in
+  let torn_crashes = ref 0 in
+  let failures = ref [] in
+  let n = ref 1 in
+  while !n <= total_events do
+    let point = !n in
+    incr crash_points;
+    let env = Env.create () in
+    (* seed varies per point so the torn-write choices differ too *)
+    let plan = Env.Fault_plan.create ~seed:(seed + point) ~crash_after:point () in
+    Env.set_fault_plan env plan;
+    let oracle = Hashtbl.create 64 in
+    let in_flight = ref None in
+    (try
+       let db = Stores.open_engine ~tweak ~env engine in
+       in_flight := run_trace db oracle trace
+     with Env.Injected_crash _ ->
+       (* fired during the initial open: nothing acked yet *)
+       ());
+    if not (Env.Fault_plan.fired plan) then
+      failures :=
+        (point, "plan never fired: trace ended before the crash point")
+        :: !failures
+    else begin
+      if Env.Fault_plan.fired_in_background plan then incr background_crashes;
+      Env.crash env;
+      if Env.Fault_plan.torn_files plan > 0 then incr torn_crashes;
+      let reopen () = Stores.open_engine ~tweak ~env engine in
+      match
+        (* index-based, not point-based: the sweep stride can share a
+           factor with 7, which would starve the double-crash schedule *)
+        if !crash_points mod 7 = 0 then begin
+          (* crash during recovery itself, then recover from that *)
+          let plan2 =
+            Env.Fault_plan.create
+              ~seed:((seed * 31) + point)
+              ~crash_after:(1 + (point mod 13))
+              ()
+          in
+          Env.set_fault_plan env plan2;
+          match reopen () with
+          | db ->
+            Env.clear_fault_plan env;
+            Ok db
+          | exception Env.Injected_crash _ ->
+            incr double_crashes;
+            Env.crash env;
+            Env.clear_fault_plan env;
+            (try Ok (reopen ()) with e -> Error e)
+        end
+        else try Ok (reopen ()) with e -> Error e
+      with
+      | Error e ->
+        failures :=
+          (point, "recovery raised " ^ Printexc.to_string e) :: !failures
+      | Ok db ->
+        List.iter
+          (fun msg -> failures := (point, msg) :: !failures)
+          (verify db oracle !in_flight ~keyspace);
+        db.Dyn.d_close ()
+    end;
+    n := !n + stride
+  done;
+  {
+    engine = Stores.engine_name engine;
+    total_events;
+    crash_points = !crash_points;
+    double_crashes = !double_crashes;
+    background_crashes = !background_crashes;
+    torn_crashes = !torn_crashes;
+    failures = List.rev !failures;
+  }
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "%s: %d/%d crash points (%d double, %d background, %d torn), %d failures"
+    r.engine r.crash_points r.total_events r.double_crashes
+    r.background_crashes r.torn_crashes (List.length r.failures)

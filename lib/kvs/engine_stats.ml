@@ -36,6 +36,12 @@ type t = {
   mutable stall_slowdown_ns : float;
   mutable stall_stop_ns : float;
   mutable worker_busy_ns : float array;  (** per-lane busy time *)
+  (* WAL-recovery accounting, set once at open from the log reader's
+     recovery report *)
+  mutable wal_records_recovered : int;
+      (** complete WAL records replayed at the last open *)
+  mutable wal_bytes_dropped : int;
+      (** WAL bytes lost to a torn/corrupt tail or orphaned fragments *)
 }
 
 let bump_breakdown t category bytes =
@@ -76,6 +82,8 @@ let create () =
     stall_slowdown_ns = 0.0;
     stall_stop_ns = 0.0;
     worker_busy_ns = [||];
+    wal_records_recovered = 0;
+    wal_bytes_dropped = 0;
   }
 
 let pp ppf t =

@@ -111,26 +111,29 @@ let normalize_levels levels =
   done
 
 (* Snapshot the whole state as a single edit (written to a fresh MANIFEST
-   on every open, as LevelDB does). *)
-let snapshot_edit t =
+   on every open, as LevelDB does).  Built from recovery-local components
+   so the edit can be installed atomically with the MANIFEST itself. *)
+let snapshot_edit ~levels ~log_number ~next_file ~last_seq =
   let e = Manifest.empty_edit () in
-  e.Manifest.log_number <- Some t.wal_number;
-  e.Manifest.next_file_number <- Some t.next_file;
-  e.Manifest.last_sequence <- Some t.last_seq;
+  e.Manifest.log_number <- Some log_number;
+  e.Manifest.next_file_number <- Some next_file;
+  e.Manifest.last_sequence <- Some last_seq;
   e.Manifest.added_files <-
     List.concat
       (List.mapi
          (fun level files -> List.map (fun m -> (level, m)) (List.rev files))
-         (Array.to_list t.levels));
+         (Array.to_list levels));
   e
 
 (* Replay the WAL numbered [wal_number] into [mem]; returns the highest
-   sequence number seen. *)
+   sequence number seen and the reader's recovery report.  The log file
+   is left in place — it may be deleted only once its contents are
+   durable elsewhere (the re-logged fresh WAL installed by open). *)
 let replay_wal env ~dir ~wal_number ~mem ~last_seq =
   let name = log_name dir wal_number in
   let seq_max = ref last_seq in
   if Env.exists env name then begin
-    let records = Wal.Reader.read_all env name in
+    let records, report = Wal.Reader.read_all env name in
     List.iter
       (fun record ->
         match Pdb_kvs.Write_batch.decode record with
@@ -148,9 +151,27 @@ let replay_wal env ~dir ~wal_number ~mem ~last_seq =
               incr seq);
           seq_max := max !seq_max (!seq - 1))
       records;
-    Env.delete env name
-  end;
-  !seq_max
+    (!seq_max, Some report)
+  end
+  else (!seq_max, None)
+
+(* Write the recovered memtable back into a fresh WAL, one record per
+   entry so each keeps its original sequence number.  Recovery must never
+   leave a window in which acked data exists only in a file the new
+   MANIFEST no longer names. *)
+let relog_memtable wal mem =
+  if not (Pdb_kvs.Memtable.is_empty mem) then begin
+    List.iter
+      (fun (ik, v) ->
+        let b = Pdb_kvs.Write_batch.create () in
+        (match Ik.kind ik with
+         | Ik.Value -> Pdb_kvs.Write_batch.put b (Ik.user_key ik) v
+         | Ik.Deletion -> Pdb_kvs.Write_batch.delete b (Ik.user_key ik));
+        Wal.Writer.add_record wal
+          (Pdb_kvs.Write_batch.encode b ~base_seq:(Ik.seq ik)))
+      (Pdb_kvs.Memtable.contents mem);
+    Wal.Writer.sync wal
+  end
 
 (* ---------- flush (memtable -> level-0 sstable) ---------- *)
 
@@ -197,8 +218,11 @@ let rec flush_memtable t =
        t.stats.Pdb_kvs.Engine_stats.sstables_built <-
          t.stats.Pdb_kvs.Engine_stats.sstables_built + 1
      | None -> ());
-    (* rotate WAL *)
-    Env.delete t.env (log_name t.dir t.wal_number);
+    (* rotate WAL — crash-safe order: open the new log, commit the
+       manifest edit that names it (and the flushed table), and only then
+       retire the old log.  Deleting first would leave a window where the
+       memtable's data exists in no durable file the MANIFEST names. *)
+    let old_log = t.wal_number in
     let new_log = new_file_number t in
     t.wal <- Wal.Writer.create t.env (log_name t.dir new_log);
     t.wal_number <- new_log;
@@ -211,6 +235,7 @@ let rec flush_memtable t =
      | Some m -> e.Manifest.added_files <- [ (0, m) ]
      | None -> ());
     Manifest.append t.manifest e;
+    Env.delete t.env (log_name t.dir old_log);
     maybe_compact t
   end
 
@@ -545,19 +570,34 @@ let open_store (opts : O.t) ~env ~dir =
   let levels = Array.make opts.O.max_levels [] in
   let wal_number = ref 0 and next_file = ref 1 and last_seq = ref 0 in
   let mem = Pdb_kvs.Memtable.create () in
+  let wal_report = ref None in
   (match Manifest.recover env ~dir with
    | Some (_, edits) ->
      List.iter (apply_edit ~levels ~wal_number ~next_file ~last_seq) edits;
      normalize_levels levels;
-     last_seq :=
+     let seq, report =
        replay_wal env ~dir ~wal_number:!wal_number ~mem ~last_seq:!last_seq
+     in
+     last_seq := seq;
+     wal_report := report
    | None -> ());
-  (* fresh WAL + fresh manifest snapshot *)
+  (* Crash-safe install sequence: (1) write the recovered memtable into a
+     fresh WAL, (2) install a fresh MANIFEST whose snapshot edit names that
+     WAL — written before the CURRENT switch, so the install is atomic —
+     then (3) retire the replayed WAL and any stale files.  An injected
+     crash between any two steps recovers to the same state: until CURRENT
+     flips, the old MANIFEST still names the old WAL. *)
   let new_log = !next_file in
   incr next_file;
   let manifest_number = !next_file in
   incr next_file;
   let wal = Wal.Writer.create env (log_name dir new_log) in
+  relog_memtable wal mem;
+  let snap =
+    snapshot_edit ~levels ~log_number:new_log ~next_file:!next_file
+      ~last_seq:!last_seq
+  in
+  let manifest = Manifest.create env ~dir ~number:manifest_number ~edits:[ snap ] in
   let t =
     {
       opts;
@@ -576,7 +616,7 @@ let open_store (opts : O.t) ~env ~dir =
       mem;
       wal;
       wal_number = new_log;
-      manifest = Manifest.create env ~dir ~number:manifest_number ~edits:[];
+      manifest;
       next_file = !next_file;
       last_seq = !last_seq;
       levels;
@@ -587,7 +627,15 @@ let open_store (opts : O.t) ~env ~dir =
       closed = false;
     }
   in
-  Manifest.append t.manifest (snapshot_edit t);
+  (match !wal_report with
+   | Some (r : Wal.Reader.report) ->
+     t.stats.Pdb_kvs.Engine_stats.wal_records_recovered <-
+       r.Wal.Reader.records_read;
+     t.stats.Pdb_kvs.Engine_stats.wal_bytes_dropped <-
+       r.Wal.Reader.bytes_dropped
+   | None -> ());
+  Manifest.cleanup_stale env ~dir ~live_log_number:new_log
+    ~live_manifest:(Manifest.file_name t.manifest);
   (* a recovered memtable may already exceed its budget *)
   if Pdb_kvs.Memtable.approximate_bytes t.mem >= t.opts.O.memtable_bytes then
     flush_memtable t;

@@ -147,7 +147,10 @@ let current_name ~dir = dir ^ "/CURRENT"
 let manifest_name ~dir n = Printf.sprintf "%s/MANIFEST-%06d" dir n
 
 (** [create env ~dir ~number ~edits] writes a fresh MANIFEST containing
-    [edits] (a recovery snapshot) and atomically installs it via CURRENT. *)
+    [edits] (a recovery snapshot) and atomically installs it via CURRENT.
+    CURRENT itself is written to a temporary and renamed into place, as
+    LevelDB does: truncating CURRENT in place would open a crash window in
+    which the store forgets which MANIFEST is live. *)
 let create env ~dir ~number ~edits =
   let name = manifest_name ~dir number in
   let tmp = name ^ ".tmp" in
@@ -155,10 +158,12 @@ let create env ~dir ~number ~edits =
   List.iter (fun e -> Pdb_wal.Wal.Writer.add_record log (encode_edit e)) edits;
   Pdb_wal.Wal.Writer.sync log;
   Pdb_simio.Env.rename env ~src:tmp ~dst:name;
-  let cur = Pdb_simio.Env.create_file env (current_name ~dir) in
+  let cur_tmp = current_name ~dir ^ ".tmp" in
+  let cur = Pdb_simio.Env.create_file env cur_tmp in
   Pdb_simio.Env.append cur (Filename.basename name);
   Pdb_simio.Env.sync cur;
   Pdb_simio.Env.close cur;
+  Pdb_simio.Env.rename env ~src:cur_tmp ~dst:(current_name ~dir);
   { env; name; log }
 
 (** [append t edit] logs one edit durably. *)
@@ -167,6 +172,8 @@ let append t edit =
   Pdb_wal.Wal.Writer.sync t.log
 
 let size t = Pdb_wal.Wal.Writer.size t.log
+
+let file_name t = t.name
 
 (** [recover env ~dir] replays the live MANIFEST's edits, if any. *)
 let recover env ~dir =
@@ -179,23 +186,51 @@ let recover env ~dir =
     let name = dir ^ "/" ^ base in
     if not (Pdb_simio.Env.exists env name) then None
     else begin
-      let records = Pdb_wal.Wal.Reader.read_all env name in
+      (* manifest edits are synced as they are appended, so a dropped tail
+         can only be the in-flight edit of the crashed process *)
+      let records, _report = Pdb_wal.Wal.Reader.read_all env name in
       Some (name, List.map decode_edit records)
     end
   end
 
-(** [reopen env ~name ~existing_bytes] continues appending to a recovered
-    MANIFEST. *)
+(** [cleanup_stale env ~dir ~live_log_number ~live_manifest] deletes files
+    a crashed incarnation may have left behind: [*.tmp] files, WAL files
+    ([NNNNNN.log]) numbered below the live log, and MANIFEST files other
+    than the live one.  Callers must invoke it only after the live
+    MANIFEST is installed and the live WAL holds every record recovery
+    still needs — at that point none of the deleted files can be named by
+    any future recovery.  CURRENT and sstables are never touched. *)
+let cleanup_stale env ~dir ~live_log_number ~live_manifest =
+  let prefix = dir ^ "/" in
+  let plen = String.length prefix in
+  let is_digits s =
+    s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+  in
+  List.iter
+    (fun name ->
+      if String.length name > plen && String.sub name 0 plen = prefix then begin
+        let base = String.sub name plen (String.length name - plen) in
+        if Filename.check_suffix base ".tmp" then Pdb_simio.Env.delete env name
+        else if Filename.check_suffix base ".log" then begin
+          let stem = Filename.chop_suffix base ".log" in
+          if is_digits stem && int_of_string stem < live_log_number then
+            Pdb_simio.Env.delete env name
+        end
+        else if
+          String.length base > 9
+          && String.sub base 0 9 = "MANIFEST-"
+          && name <> live_manifest
+        then Pdb_simio.Env.delete env name
+      end)
+    (List.sort compare (Pdb_simio.Env.list env))
+
+(** [reopen env ~name] continues appending to a recovered MANIFEST.  The
+    file is rewritten from its readable records, not its raw bytes: after
+    a torn-write crash the tail may hold garbage, and appending past it
+    would put every future edit beyond the reader's reach. *)
 let reopen env ~name =
-  let existing =
-    Pdb_simio.Env.read_all env name ~hint:Pdb_simio.Device.Sequential_read
-  in
-  (* Re-create the file with its existing contents so the writer can
-     continue appending block-aligned records. *)
-  let w = Pdb_simio.Env.create_file env name in
-  Pdb_simio.Env.append w existing;
-  Pdb_simio.Env.sync w;
-  let log =
-    Pdb_wal.Wal.Writer.of_writer w ~existing_bytes:(String.length existing)
-  in
+  let records, _report = Pdb_wal.Wal.Reader.read_all env name in
+  let log = Pdb_wal.Wal.Writer.create env name in
+  List.iter (Pdb_wal.Wal.Writer.add_record log) records;
+  Pdb_wal.Wal.Writer.sync log;
   { env; name; log }

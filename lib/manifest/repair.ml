@@ -30,8 +30,14 @@ let sst_number ~dir name =
     String.length name > plen + 4
     && String.sub name 0 plen = prefix
     && Filename.check_suffix name ".sst"
-  then
-    int_of_string_opt (String.sub name plen (String.length name - plen - 4))
+  then begin
+    let stem = String.sub name plen (String.length name - plen - 4) in
+    (* decimal digits only: [int_of_string_opt] would also accept "0x1f"
+       or "1_0", silently "repairing" a stray file as the wrong number *)
+    if String.for_all (fun c -> c >= '0' && c <= '9') stem then
+      int_of_string_opt stem
+    else None
+  end
   else None
 
 (* Full scan of a table for its maximum sequence number — repair is allowed

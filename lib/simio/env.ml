@@ -8,14 +8,68 @@
 
     Durability model: [append] buffers data; [sync] makes the current file
     contents crash-durable.  {!crash} truncates every file back to its last
-    synced length (and removes never-synced empty files), after which stores
-    exercise their recovery paths.  [rename] is atomic and durable, matching
-    the way LevelDB-family stores install a new MANIFEST via CURRENT. *)
+    synced length (and removes files that were never synced), after which
+    stores exercise their recovery paths.  [rename] follows the ext4
+    replace-via-rename heuristic: it implies a flush of the file's current
+    contents, so the renamed file — name and data — is durable, matching
+    the way LevelDB-family stores install a new MANIFEST via CURRENT.
+
+    Fault injection: a seeded {!Fault_plan} arms a crash at the Nth
+    subsequent IO event (create/append/sync/rename/delete/positioned
+    write), raising {!Injected_crash} out of the store's own code path —
+    including mid-flush and mid-compaction, since background jobs perform
+    their IO through the same environment.  When a plan is installed,
+    {!crash} additionally applies a torn-write model: each file's unsynced
+    suffix persists only up to a block-granular prefix chosen by the plan's
+    RNG, and the surviving tail may be garbled (bit flips), modelling
+    partial page persistence after power failure. *)
+
+exception Injected_crash of string
+
+module Fault_plan = struct
+  type t = {
+    rng : Pdb_util.Rng.t;
+    mutable countdown : int;  (** IO events left before the crash fires *)
+    mutable armed : bool;
+    torn_writes : bool;
+    garbage_tail_prob : float;
+    block_bytes : int;
+    mutable ticks : int;  (** total IO events observed, fired or not *)
+    mutable fired_at : string option;
+    mutable fired_in_background : bool;
+    mutable torn_files : int;
+        (** files whose unsynced tail partially persisted at the crash *)
+  }
+
+  let create ?(torn_writes = true) ?(garbage_tail_prob = 0.25)
+      ?(block_bytes = 4096) ~seed ~crash_after () =
+    {
+      rng = Pdb_util.Rng.create seed;
+      countdown = crash_after;
+      armed = crash_after > 0;
+      torn_writes;
+      garbage_tail_prob;
+      block_bytes;
+      ticks = 0;
+      fired_at = None;
+      fired_in_background = false;
+      torn_files = 0;
+    }
+
+  let fired t = t.fired_at <> None
+  let fired_at t = t.fired_at
+  let fired_in_background t = t.fired_in_background
+  let ticks t = t.ticks
+  let torn_files t = t.torn_files
+end
 
 type file = {
   mutable data : Bytes.t;
   mutable len : int;
   mutable synced : int;
+  mutable ever_synced : bool;
+      (* distinct from [synced = 0]: a file synced while empty is durable
+         as an empty file, a never-synced file vanishes at a crash *)
 }
 
 type t = {
@@ -23,6 +77,9 @@ type t = {
   stats : Io_stats.t;
   device : Device.t;
   clock : Clock.t;
+  mutable plan : Fault_plan.t option;
+  mutable atomic_depth : int;
+  mutable pending_crash : string option;
 }
 
 type writer = { env : t; name : string; file : file }
@@ -33,11 +90,54 @@ let create ?(device = Device.ssd ()) () =
     stats = Io_stats.create ();
     device;
     clock = Clock.create ();
+    plan = None;
+    atomic_depth = 0;
+    pending_crash = None;
   }
 
 let stats t = t.stats
 let device t = t.device
 let clock t = t.clock
+
+let set_fault_plan t plan = t.plan <- Some plan
+let clear_fault_plan t = t.plan <- None
+let fault_plan t = t.plan
+
+(* One injection point: decrement the armed plan's countdown and raise
+   {!Injected_crash} when it reaches zero.  Inside an {!with_atomic}
+   section the crash is deferred to the section's end, modelling an
+   operation the device commits atomically (page-store checkpoints). *)
+let tick t label =
+  match t.plan with
+  | Some p when p.Fault_plan.armed ->
+    p.Fault_plan.ticks <- p.Fault_plan.ticks + 1;
+    p.Fault_plan.countdown <- p.Fault_plan.countdown - 1;
+    if p.Fault_plan.countdown <= 0 then begin
+      p.Fault_plan.armed <- false;
+      p.Fault_plan.fired_at <- Some label;
+      p.Fault_plan.fired_in_background <-
+        t.clock.Clock.lane = Clock.Background;
+      if t.atomic_depth > 0 then t.pending_crash <- Some label
+      else raise (Injected_crash label)
+    end
+  | _ -> ()
+
+(** [with_atomic t f] runs [f] deferring any injected crash to the end of
+    the section: the IO inside is committed (or lost) as a unit. *)
+let with_atomic t f =
+  t.atomic_depth <- t.atomic_depth + 1;
+  let result =
+    Fun.protect f ~finally:(fun () -> t.atomic_depth <- t.atomic_depth - 1)
+  in
+  (* fire outside the protect: a raise inside [~finally] would surface as
+     [Fun.Finally_raised] instead of the crash itself *)
+  (if t.atomic_depth = 0 then
+     match t.pending_crash with
+     | Some label ->
+       t.pending_crash <- None;
+       raise (Injected_crash label)
+     | None -> ());
+  result
 
 let find t name =
   match Hashtbl.find_opt t.files name with
@@ -45,11 +145,19 @@ let find t name =
   | None -> raise (Sys_error (name ^ ": no such simulated file"))
 
 (** [create_file t name] opens [name] for appending, truncating any existing
-    contents. *)
+    contents.  Truncating an already-durable name keeps the directory entry
+    durable (the file survives a crash, empty); a brand-new name stays
+    volatile until the first sync. *)
 let create_file t name =
-  let file = { data = Bytes.create 4096; len = 0; synced = 0 } in
+  let ever_synced =
+    match Hashtbl.find_opt t.files name with
+    | Some f -> f.ever_synced
+    | None -> false
+  in
+  let file = { data = Bytes.create 4096; len = 0; synced = 0; ever_synced } in
   Hashtbl.replace t.files name file;
   t.stats.files_created <- t.stats.files_created + 1;
+  tick t ("create:" ^ name);
   { env = t; name; file }
 
 (** [append w s] appends [s]; charges sequential write cost. *)
@@ -69,14 +177,17 @@ let append w s =
     let st = w.env.stats in
     st.bytes_written <- st.bytes_written + n;
     st.write_ops <- st.write_ops + 1;
-    Clock.advance w.env.clock (Device.write_cost w.env.device ~bytes:n)
+    Clock.advance w.env.clock (Device.write_cost w.env.device ~bytes:n);
+    tick w.env ("append:" ^ w.name)
   end
 
 (** [sync w] makes the file contents durable. *)
 let sync w =
   w.file.synced <- w.file.len;
+  w.file.ever_synced <- true;
   w.env.stats.syncs <- w.env.stats.syncs + 1;
-  Clock.advance w.env.clock (Device.sync_cost w.env.device)
+  Clock.advance w.env.clock (Device.sync_cost w.env.device);
+  tick w.env ("sync:" ^ w.name)
 
 (** [close w] closes the writer (contents remain; unsynced data stays
     volatile until the next [sync] on a new writer or a crash). *)
@@ -94,7 +205,9 @@ let write_at t name ~pos s =
     match Hashtbl.find_opt t.files name with
     | Some f -> f
     | None ->
-      let f = { data = Bytes.create 4096; len = 0; synced = 0 } in
+      let f =
+        { data = Bytes.create 4096; len = 0; synced = 0; ever_synced = false }
+      in
       Hashtbl.replace t.files name f;
       t.stats.files_created <- t.stats.files_created + 1;
       f
@@ -112,12 +225,14 @@ let write_at t name ~pos s =
   Bytes.blit_string s 0 f.data pos n;
   f.len <- max f.len needed;
   f.synced <- f.len;
+  f.ever_synced <- true;
   t.stats.bytes_written <- t.stats.bytes_written + n;
   t.stats.write_ops <- t.stats.write_ops + 1;
   (* positioned page writes pay a random-IO style setup like reads do *)
   Clock.advance t.clock
     (Device.read_cost t.device ~hint:Device.Random_read ~bytes:0
-     +. Device.write_cost t.device ~bytes:n)
+     +. Device.write_cost t.device ~bytes:n);
+  tick t ("write_at:" ^ name)
 
 let exists t name = Hashtbl.mem t.files name
 
@@ -144,14 +259,23 @@ let read_all t name ~hint =
 let delete t name =
   if Hashtbl.mem t.files name then begin
     Hashtbl.remove t.files name;
-    t.stats.files_deleted <- t.stats.files_deleted + 1
+    t.stats.files_deleted <- t.stats.files_deleted + 1;
+    tick t ("delete:" ^ name)
   end
 
-(** [rename t ~src ~dst] atomically (and durably) renames a file. *)
+(** [rename t ~src ~dst] atomically renames a file.  Like ext4's
+    replace-via-rename heuristic, the rename implies a flush: the file's
+    contents at rename time become durable under the new name, so a
+    freshly installed MANIFEST or CURRENT cannot vanish at a crash. *)
 let rename t ~src ~dst =
   let f = find t src in
   Hashtbl.remove t.files src;
-  Hashtbl.replace t.files dst f
+  Hashtbl.replace t.files dst f;
+  f.synced <- f.len;
+  f.ever_synced <- true;
+  t.stats.syncs <- t.stats.syncs + 1;
+  Clock.advance t.clock (Device.sync_cost t.device);
+  tick t ("rename:" ^ dst)
 
 let list t = Hashtbl.fold (fun name _ acc -> name :: acc) t.files []
 
@@ -160,13 +284,66 @@ let list t = Hashtbl.fold (fun name _ acc -> name :: acc) t.files []
 let total_file_bytes t =
   Hashtbl.fold (fun _ f acc -> acc + f.len) t.files 0
 
+(* Flip a handful of random bits in [data[lo, hi)] — the garbage a torn
+   page leaves behind. *)
+let garble rng data lo hi =
+  let n = hi - lo in
+  if n > 0 then begin
+    let flips = 1 + Pdb_util.Rng.int rng (min 8 n) in
+    for _ = 1 to flips do
+      let i = lo + Pdb_util.Rng.int rng n in
+      let bit = 1 lsl Pdb_util.Rng.int rng 8 in
+      Bytes.set data i (Char.chr (Char.code (Bytes.get data i) lxor bit))
+    done
+  end
+
 (** [crash t] simulates a power failure: every file loses its unsynced
-    suffix; files that never reached a sync disappear. *)
+    suffix; files that never reached a sync disappear.  Under an installed
+    {!Fault_plan} with torn writes, the unsynced suffix instead persists up
+    to a block-granular prefix chosen by the plan's RNG (possibly with a
+    garbled tail), and a never-synced file's directory entry itself may or
+    may not have persisted.  Whatever survives the crash is durable — it is
+    on the platter.  The plan is consumed. *)
 let crash t =
-  let doomed = ref [] in
-  Hashtbl.iter
-    (fun name f ->
-      if f.synced = 0 then doomed := name :: !doomed
-      else f.len <- f.synced)
-    t.files;
-  List.iter (fun name -> Hashtbl.remove t.files name) !doomed
+  let torn =
+    match t.plan with
+    | Some p when p.Fault_plan.torn_writes -> Some p
+    | _ -> None
+  in
+  (* iterate in sorted name order so a seeded plan is deterministic *)
+  let names = List.sort compare (list t) in
+  List.iter
+    (fun name ->
+      let f = Hashtbl.find t.files name in
+      let keep_file, base =
+        if f.ever_synced then (true, f.synced)
+        else
+          match torn with
+          | Some p ->
+            (* the creating directory update may itself have persisted *)
+            (Pdb_util.Rng.bool p.Fault_plan.rng, 0)
+          | None -> (false, 0)
+      in
+      if not keep_file then Hashtbl.remove t.files name
+      else begin
+        let unsynced = f.len - base in
+        (match torn with
+         | Some p when unsynced > 0 ->
+           let block = p.Fault_plan.block_bytes in
+           let nblocks = (unsynced + block - 1) / block in
+           let keep_blocks = Pdb_util.Rng.int p.Fault_plan.rng (nblocks + 1) in
+           let keep = min unsynced (keep_blocks * block) in
+           f.len <- base + keep;
+           if keep > 0 then begin
+             p.Fault_plan.torn_files <- p.Fault_plan.torn_files + 1;
+             if Pdb_util.Rng.float p.Fault_plan.rng < p.Fault_plan.garbage_tail_prob
+             then garble p.Fault_plan.rng f.data (max base (f.len - block)) f.len
+           end
+         | _ -> f.len <- base);
+        (* post-reboot, whatever persisted is by definition durable *)
+        f.synced <- f.len;
+        f.ever_synced <- true
+      end)
+    names;
+  t.plan <- None;
+  t.pending_crash <- None

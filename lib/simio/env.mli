@@ -9,10 +9,60 @@
     Durability model: {!append} buffers data; {!sync} makes the current
     file contents crash-durable.  {!crash} truncates every file back to
     its last synced length (and removes never-synced files), after which
-    stores exercise their recovery paths.  {!rename} is atomic and
-    durable, matching how LevelDB-family stores install a new MANIFEST via
-    CURRENT.  Positioned writes ({!write_at}, used by the page stores) are
-    immediately durable — page engines carry their own journaling. *)
+    stores exercise their recovery paths.  {!rename} is atomic and — like
+    ext4's replace-via-rename heuristic — implies a flush of the file's
+    contents, matching how LevelDB-family stores install a new MANIFEST
+    via CURRENT.  Positioned writes ({!write_at}, used by the page stores)
+    are immediately durable — page engines carry their own journaling.
+
+    Fault injection: install a seeded {!Fault_plan} to make the Nth
+    subsequent IO event raise {!Injected_crash}, and to model torn writes
+    at the following {!crash} — each file's unsynced suffix persists only
+    up to a block-granular prefix, possibly with a garbled tail.  See the
+    "Crash & durability model" section of DESIGN.md. *)
+
+(** Raised at an armed fault-plan injection point, out of whatever store
+    code performed the IO.  The environment is left exactly as the crash
+    found it; callers should {!crash} it and re-open stores. *)
+exception Injected_crash of string
+
+module Fault_plan : sig
+  type t
+
+  (** [create ~seed ~crash_after ()] arms a crash at the [crash_after]-th
+      subsequent IO event (append/sync/create/rename/delete/positioned
+      write).  [torn_writes] (default true) enables the torn-write model at
+      the next {!crash}; [garbage_tail_prob] (default 0.25) is the chance
+      the surviving torn tail of a file is garbled; [block_bytes] (default
+      4096) is the persistence granularity. *)
+  val create :
+    ?torn_writes:bool ->
+    ?garbage_tail_prob:float ->
+    ?block_bytes:int ->
+    seed:int ->
+    crash_after:int ->
+    unit ->
+    t
+
+  (** [fired t] is true once the plan's crash point was reached. *)
+  val fired : t -> bool
+
+  (** [fired_at t] is the label of the IO event that fired, e.g.
+      ["sync:db/000003.log"]. *)
+  val fired_at : t -> string option
+
+  (** [fired_in_background t] is true when the crash fired inside
+      background (flush/compaction) work. *)
+  val fired_in_background : t -> bool
+
+  (** [ticks t] counts every IO event observed while armed — run a trace
+      with an unreachable [crash_after] to measure its crash-point count. *)
+  val ticks : t -> int
+
+  (** [torn_files t] counts files whose unsynced tail partially persisted
+      at the crash (set by {!crash}). *)
+  val torn_files : t -> int
+end
 
 type t
 
@@ -25,8 +75,19 @@ val stats : t -> Io_stats.t
 val device : t -> Device.t
 val clock : t -> Clock.t
 
+val set_fault_plan : t -> Fault_plan.t -> unit
+val clear_fault_plan : t -> unit
+val fault_plan : t -> Fault_plan.t option
+
+(** [with_atomic t f] runs [f] deferring any injected crash to the end of
+    the section — the IO inside commits (or is lost) as a unit.  Used by
+    the page stores, whose checkpoints are modeled as atomic. *)
+val with_atomic : t -> (unit -> 'a) -> 'a
+
 (** [create_file t name] opens [name] for appending, truncating any
-    existing contents. *)
+    existing contents.  Truncating an already-durable name keeps the
+    directory entry durable (the file survives a crash, empty); a
+    brand-new name stays volatile until the first sync. *)
 val create_file : t -> string -> writer
 
 (** [append w s] appends [s]; charges sequential write cost. *)
@@ -56,7 +117,9 @@ val read : t -> string -> pos:int -> len:int -> hint:Device.read_hint -> string
 val read_all : t -> string -> hint:Device.read_hint -> string
 val delete : t -> string -> unit
 
-(** [rename t ~src ~dst] atomically (and durably) renames a file. *)
+(** [rename t ~src ~dst] atomically renames a file; the rename implies a
+    flush of the file's current contents (ext4 replace-via-rename), so
+    both the name and the data are durable afterwards. *)
 val rename : t -> src:string -> dst:string -> unit
 
 (** All live file names (unordered). *)
@@ -67,5 +130,8 @@ val list : t -> string list
 val total_file_bytes : t -> int
 
 (** [crash t] simulates a power failure: every file loses its unsynced
-    suffix; files that never reached a sync disappear. *)
+    suffix; files that never reached a sync disappear.  Under an installed
+    {!Fault_plan}, the torn-write model applies instead (block-granular
+    partial persistence, garbled tails, never-synced files that may leave
+    a partial directory entry).  The plan is consumed. *)
 val crash : t -> unit

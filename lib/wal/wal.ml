@@ -92,21 +92,64 @@ module Writer = struct
 end
 
 module Reader = struct
-  (** [read_all env name] returns the complete records recoverable from the
-      log, in order, silently dropping a corrupt/truncated tail. *)
+  (** Why a read stopped short of the physical end of the log. *)
+  type stop_reason =
+    | Clean  (** every byte accounted for *)
+    | Torn_header  (** the file ends inside a record header *)
+    | Torn_fragment  (** a framed length points past the end of the file *)
+    | Bad_crc  (** a stored checksum does not match its body *)
+    | Bad_type  (** an unknown record-type byte *)
+
+  let stop_reason_name = function
+    | Clean -> "clean"
+    | Torn_header -> "torn-header"
+    | Torn_fragment -> "torn-fragment"
+    | Bad_crc -> "bad-crc"
+    | Bad_type -> "bad-type"
+
+  (** What recovery got out of a log — stores surface this in their engine
+      stats instead of pretending every log was clean. *)
+  type report = {
+    records_read : int;  (** complete records returned *)
+    bytes_dropped : int;
+        (** log bytes not represented in the returned records: orphaned
+            fragments, the corrupt/torn tail *)
+    orphan_fragments : int;
+        (** FIRST/MIDDLE/LAST fragments dropped because their record was
+            never completed — the signature of a torn fragmented write *)
+    stop : stop_reason;  (** why reading stopped, [Clean] at a clean end *)
+  }
+
+  (** [read_all env name] returns the complete records recoverable from
+      the log, in order, together with a {!report} accounting for every
+      byte that was dropped: the corrupt or truncated tail expected after
+      a crash, and any orphaned mid-log fragments. *)
   let read_all env name =
     let data =
       Pdb_simio.Env.read_all env name ~hint:Pdb_simio.Device.Sequential_read
     in
     let len = String.length data in
     let records = ref [] in
+    let nrecords = ref 0 in
     let partial = Buffer.create 256 in
     let in_fragmented = ref false in
     let pos = ref 0 in
-    let corrupt = ref false in
-    while (not !corrupt) && !pos + header_size <= len do
+    let dropped = ref 0 in
+    let orphans = ref 0 in
+    let stop = ref Clean in
+    let stopped = ref false in
+    (* an accumulated FIRST(+MIDDLE)* prefix whose record never completed *)
+    let drop_partial () =
+      if !in_fragmented then begin
+        dropped := !dropped + Buffer.length partial;
+        incr orphans;
+        Buffer.clear partial;
+        in_fragmented := false
+      end
+    in
+    while (not !stopped) && !pos + header_size <= len do
       let block_left = block_size - (!pos mod block_size) in
-      if block_left < header_size then pos := !pos + block_left
+      if block_left < header_size then pos := min len (!pos + block_left)
       else begin
         let stored_crc = Pdb_util.Varint.get_fixed32 data !pos in
         let flen =
@@ -115,41 +158,78 @@ module Reader = struct
         let tbyte = Char.code data.[!pos + 6] in
         if tbyte = 0 && flen = 0 && stored_crc = 0 then
           (* zero padding: skip to next block *)
-          pos := !pos + block_left
-        else if !pos + header_size + flen > len then corrupt := true
+          pos := min len (!pos + block_left)
+        else if !pos + header_size + flen > len then begin
+          stop := Torn_fragment;
+          stopped := true
+        end
         else
           match type_of_int tbyte with
-          | None -> corrupt := true
+          | None ->
+            stop := Bad_type;
+            stopped := true
           | Some rtype ->
             let body =
               String.sub data (!pos + 6) (1 + flen)
               (* type byte + fragment, as covered by the CRC *)
             in
             let crc = Pdb_util.Crc32c.masked (Pdb_util.Crc32c.string body) in
-            if crc <> stored_crc then corrupt := true
+            if crc <> stored_crc then begin
+              stop := Bad_crc;
+              stopped := true
+            end
             else begin
               let fragment = String.sub data (!pos + header_size) flen in
               (match rtype with
                | Full ->
-                 if !in_fragmented then Buffer.clear partial;
-                 in_fragmented := false;
-                 records := fragment :: !records
+                 drop_partial ();
+                 records := fragment :: !records;
+                 incr nrecords
                | First ->
-                 Buffer.clear partial;
+                 drop_partial ();
                  Buffer.add_string partial fragment;
                  in_fragmented := true
                | Middle ->
                  if !in_fragmented then Buffer.add_string partial fragment
+                 else begin
+                   dropped := !dropped + header_size + flen;
+                   incr orphans
+                 end
                | Last ->
                  if !in_fragmented then begin
                    Buffer.add_string partial fragment;
                    records := Buffer.contents partial :: !records;
+                   incr nrecords;
                    Buffer.clear partial;
                    in_fragmented := false
+                 end
+                 else begin
+                   dropped := !dropped + header_size + flen;
+                   incr orphans
                  end);
               pos := !pos + header_size + flen
             end
       end
     done;
-    List.rev !records
+    if !stopped then dropped := !dropped + (len - !pos)
+    else if !pos < len then begin
+      (* fewer than header_size trailing bytes: torn padding (all zeroes,
+         nothing lost) or a torn header *)
+      let tail = String.sub data !pos (len - !pos) in
+      if not (String.for_all (fun c -> c = '\000') tail) then begin
+        dropped := !dropped + (len - !pos);
+        stop := Torn_header
+      end
+    end;
+    (if !in_fragmented then begin
+       drop_partial ();
+       if !stop = Clean then stop := Torn_fragment
+     end);
+    ( List.rev !records,
+      {
+        records_read = !nrecords;
+        bytes_dropped = !dropped;
+        orphan_fragments = !orphans;
+        stop = !stop;
+      } )
 end

@@ -34,8 +34,32 @@ module Writer : sig
 end
 
 module Reader : sig
+  (** Why a read stopped short of the physical end of the log. *)
+  type stop_reason =
+    | Clean  (** every byte accounted for *)
+    | Torn_header  (** the file ends inside a record header *)
+    | Torn_fragment  (** a framed length points past the end of the file *)
+    | Bad_crc  (** a stored checksum does not match its body *)
+    | Bad_type  (** an unknown record-type byte *)
+
+  val stop_reason_name : stop_reason -> string
+
+  (** What recovery got out of a log — stores surface this in their
+      engine stats instead of pretending every log was clean. *)
+  type report = {
+    records_read : int;  (** complete records returned *)
+    bytes_dropped : int;
+        (** log bytes not represented in the returned records: orphaned
+            fragments, the corrupt/torn tail *)
+    orphan_fragments : int;
+        (** FIRST/MIDDLE/LAST fragments dropped because their record was
+            never completed — the signature of a torn fragmented write *)
+    stop : stop_reason;  (** why reading stopped, [Clean] at a clean end *)
+  }
+
   (** [read_all env name] returns the complete records recoverable from
-      the log, in order, silently dropping a corrupt or truncated tail —
-      the expected state after a crash. *)
-  val read_all : Pdb_simio.Env.t -> string -> string list
+      the log, in order, together with a {!report} accounting for every
+      dropped byte — the corrupt or truncated tail expected after a
+      crash, and any orphaned mid-log fragments. *)
+  val read_all : Pdb_simio.Env.t -> string -> string list * report
 end

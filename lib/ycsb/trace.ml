@@ -72,7 +72,7 @@ end
 
 (** [read env name] loads a trace. *)
 let read env name =
-  List.map decode_op (Pdb_wal.Wal.Reader.read_all env name)
+  List.map decode_op (fst (Pdb_wal.Wal.Reader.read_all env name))
 
 (** [record_ycsb env name spec ~records ~operations ~value_bytes ~seed]
     writes the load phase plus the transaction phase of a YCSB workload as

@@ -74,6 +74,141 @@ let test_crash_removes_never_synced () =
   Env.crash env;
   Alcotest.(check bool) "file vanished" false (Env.exists env "f")
 
+let test_crash_keeps_synced_empty_file () =
+  (* a created-and-synced empty file is durable: "never synced" must not be
+     conflated with "synced at length 0" (a fresh WAL is exactly this) *)
+  let env = Env.create () in
+  let w = Env.create_file env "wal" in
+  Env.sync w;
+  Env.crash env;
+  Alcotest.(check bool) "empty synced file survives" true
+    (Env.exists env "wal");
+  check Alcotest.int "zero length" 0 (Env.file_size env "wal")
+
+let test_rename_implies_flush () =
+  (* ext4 replace-via-rename: a renamed file is durable under its new name
+     even if it was never explicitly synced *)
+  let env = Env.create () in
+  let w = Env.create_file env "tmp" in
+  Env.append w "payload";
+  Env.rename env ~src:"tmp" ~dst:"installed";
+  Env.crash env;
+  Alcotest.(check bool) "renamed file survives" true
+    (Env.exists env "installed");
+  check Alcotest.string "contents durable" "payload"
+    (Env.read_all env "installed" ~hint:Device.Sequential_read)
+
+(* ---------- fault injection ---------- *)
+
+let test_fault_crash_after_nth_event () =
+  let env = Env.create () in
+  let plan = Env.Fault_plan.create ~seed:1 ~crash_after:3 () in
+  Env.set_fault_plan env plan;
+  let w = Env.create_file env "f" in
+  (* create=1, append=2 *)
+  Env.append w "one";
+  Alcotest.(check bool) "not yet fired" false (Env.Fault_plan.fired plan);
+  Alcotest.check_raises "third event fires" (Env.Injected_crash "append:f")
+    (fun () -> Env.append w "two");
+  Alcotest.(check bool) "fired" true (Env.Fault_plan.fired plan);
+  check
+    Alcotest.(option string)
+    "fired_at labels the event" (Some "append:f")
+    (Env.Fault_plan.fired_at plan);
+  check Alcotest.int "three ticks observed" 3 (Env.Fault_plan.ticks plan)
+
+(* Run one torn-crash scenario: synced prefix, unsynced suffix, crash under
+   a seeded plan.  Returns (synced_prefix, suffix, surviving contents). *)
+let torn_scenario ~seed ~garbage_tail_prob =
+  let env = Env.create () in
+  let prefix = String.make 64 'S' in
+  let suffix = String.init 64 (fun i -> Char.chr (65 + (i mod 26))) in
+  let w = Env.create_file env "f" in
+  Env.append w prefix;
+  Env.sync w;
+  Env.append w suffix;
+  Env.set_fault_plan env
+    (Env.Fault_plan.create ~garbage_tail_prob ~block_bytes:8 ~seed
+       ~crash_after:max_int ());
+  Env.crash env;
+  (prefix, suffix, Env.read_all env "f" ~hint:Device.Sequential_read)
+
+let test_fault_torn_prefix () =
+  (* without garbling: the synced prefix always survives intact, the
+     unsynced suffix survives as a block-granular prefix; across seeds we
+     must see a genuinely torn state (neither nothing nor everything) *)
+  let torn_seen = ref false in
+  for seed = 0 to 19 do
+    let prefix, suffix, got = torn_scenario ~seed ~garbage_tail_prob:0.0 in
+    let plen = String.length prefix in
+    Alcotest.(check bool) "at least the synced prefix" true
+      (String.length got >= plen);
+    check Alcotest.string "synced prefix intact" prefix
+      (String.sub got 0 plen);
+    let kept = String.length got - plen in
+    check Alcotest.int "block granularity" 0 (kept mod 8);
+    check Alcotest.string "kept suffix bytes match what was written"
+      (String.sub suffix 0 kept)
+      (String.sub got plen kept);
+    if kept > 0 && kept < String.length suffix then torn_seen := true
+  done;
+  Alcotest.(check bool) "some seed tears mid-suffix" true !torn_seen
+
+let test_fault_garbage_tail () =
+  (* with garbling forced on: whenever unsynced bytes survive, the tail
+     block is garbled (bit flips), but never the synced prefix *)
+  let garbled_seen = ref false in
+  for seed = 0 to 19 do
+    let prefix, suffix, got = torn_scenario ~seed ~garbage_tail_prob:1.0 in
+    let plen = String.length prefix in
+    check Alcotest.string "synced prefix never garbled" prefix
+      (String.sub got 0 plen);
+    let kept = String.length got - plen in
+    if kept > 0 && String.sub got plen kept <> String.sub suffix 0 kept then
+      garbled_seen := true
+  done;
+  Alcotest.(check bool) "surviving tails get garbled" true !garbled_seen
+
+let test_fault_determinism () =
+  (* the same seed must reproduce the same post-crash state, byte for
+     byte, across every file — the property the torture sweep relies on *)
+  let run () =
+    let env = Env.create () in
+    Env.set_fault_plan env
+      (Env.Fault_plan.create ~block_bytes:16 ~seed:1234 ~crash_after:9 ());
+    (try
+       for i = 0 to 7 do
+         let w = Env.create_file env (Printf.sprintf "f%d" i) in
+         Env.append w (String.make (17 * (i + 1)) (Char.chr (97 + i)));
+         if i mod 2 = 0 then Env.sync w;
+         Env.append w (String.make 33 'z')
+       done
+     with Env.Injected_crash _ -> ());
+    Env.crash env;
+    List.map
+      (fun name -> (name, Env.read_all env name ~hint:Device.Sequential_read))
+      (List.sort compare (Env.list env))
+  in
+  let a = run () and b = run () in
+  check
+    Alcotest.(list (pair string string))
+    "identical surviving state" a b
+
+let test_with_atomic_defers_crash () =
+  let env = Env.create () in
+  Env.set_fault_plan env (Env.Fault_plan.create ~seed:7 ~crash_after:2 ());
+  let w = Env.create_file env "pages" in
+  (* both writes inside the section land; the crash fires at the end *)
+  Alcotest.(check bool) "crash deferred to section end" true
+    (try
+       Env.with_atomic env (fun () ->
+           Env.append w "first";
+           Env.append w "second");
+       false
+     with Env.Injected_crash _ -> true);
+  check Alcotest.int "section committed as a unit" 11
+    (Env.file_size env "pages")
+
 let test_total_file_bytes () =
   let env = Env.create () in
   let w1 = Env.create_file env "a" in
@@ -212,6 +347,20 @@ let () =
           Alcotest.test_case "drops unsynced" `Quick test_crash_drops_unsynced;
           Alcotest.test_case "removes never-synced" `Quick
             test_crash_removes_never_synced;
+          Alcotest.test_case "keeps synced empty file" `Quick
+            test_crash_keeps_synced_empty_file;
+          Alcotest.test_case "rename implies flush" `Quick
+            test_rename_implies_flush;
+        ] );
+      ( "fault-injection",
+        [
+          Alcotest.test_case "crash after Nth event" `Quick
+            test_fault_crash_after_nth_event;
+          Alcotest.test_case "torn prefix" `Quick test_fault_torn_prefix;
+          Alcotest.test_case "garbage tail" `Quick test_fault_garbage_tail;
+          Alcotest.test_case "determinism" `Quick test_fault_determinism;
+          Alcotest.test_case "with_atomic defers" `Quick
+            test_with_atomic_defers_crash;
         ] );
       ( "clock-device",
         [

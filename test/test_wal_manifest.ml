@@ -15,7 +15,13 @@ let test_wal_roundtrip () =
   let records = [ "first"; "second record"; ""; "third" ] in
   List.iter (Wal.Writer.add_record w) records;
   Wal.Writer.close w;
-  check Alcotest.(list string) "records" records (Wal.Reader.read_all env "log")
+  let got, report = Wal.Reader.read_all env "log" in
+  check Alcotest.(list string) "records" records got;
+  check Alcotest.int "records_read" (List.length records)
+    report.Wal.Reader.records_read;
+  check Alcotest.int "no bytes dropped" 0 report.Wal.Reader.bytes_dropped;
+  check Alcotest.string "clean stop" "clean"
+    (Wal.Reader.stop_reason_name report.Wal.Reader.stop)
 
 let test_wal_large_record_fragments () =
   let env = Env.create () in
@@ -27,7 +33,7 @@ let test_wal_large_record_fragments () =
   Wal.Writer.add_record w "after";
   Wal.Writer.close w;
   check Alcotest.(list string) "fragmented roundtrip" [ "before"; big; "after" ]
-    (Wal.Reader.read_all env "log")
+    (fst (Wal.Reader.read_all env "log"))
 
 let test_wal_block_boundary () =
   (* records sized to land a header exactly at the block boundary *)
@@ -39,7 +45,7 @@ let test_wal_block_boundary () =
   List.iter (Wal.Writer.add_record w) records;
   Wal.Writer.close w;
   check Alcotest.(list string) "boundary roundtrip" records
-    (Wal.Reader.read_all env "log")
+    (fst (Wal.Reader.read_all env "log"))
 
 let test_wal_truncated_tail_dropped () =
   let env = Env.create () in
@@ -51,7 +57,7 @@ let test_wal_truncated_tail_dropped () =
   Env.crash env;
   check Alcotest.(list string) "synced records survive"
     [ "durable-1"; "durable-2" ]
-    (Wal.Reader.read_all env "log")
+    (fst (Wal.Reader.read_all env "log"))
 
 let test_wal_corrupt_crc_stops () =
   let env = Env.create () in
@@ -67,8 +73,71 @@ let test_wal_corrupt_crc_stops () =
     (Char.chr (Char.code (Bytes.get bytes target) lxor 0xff));
   let w2 = Env.create_file env "log" in
   Env.append w2 (Bytes.to_string bytes);
-  check Alcotest.(list string) "reader stops at corruption" [ "good" ]
-    (Wal.Reader.read_all env "log")
+  let got, report = Wal.Reader.read_all env "log" in
+  check Alcotest.(list string) "reader stops at corruption" [ "good" ] got;
+  check Alcotest.string "stop reason" "bad-crc"
+    (Wal.Reader.stop_reason_name report.Wal.Reader.stop);
+  check Alcotest.bool "bytes accounted" true
+    (report.Wal.Reader.bytes_dropped > 0)
+
+(* A record fragmented across the 32 KB block boundary, torn mid-fragment
+   by a crash: the FIRST fragment survives in block 0, the continuation in
+   block 1 is cut short.  The reader must drop the whole record cleanly and
+   say so in the report. *)
+let test_wal_torn_mid_fragment () =
+  let env = Env.create () in
+  let w = Wal.Writer.create env "log" in
+  Wal.Writer.add_record w "before";
+  (* spans blocks 0..2: FIRST fills block 0, MIDDLE fills block 1 *)
+  let big = String.init 80_000 (fun i -> Char.chr (i mod 256)) in
+  Wal.Writer.add_record w big;
+  Wal.Writer.close w;
+  let data = Env.read_all env "log" ~hint:Pdb_simio.Device.Sequential_read in
+  (* tear inside block 1's MIDDLE fragment *)
+  let torn = String.sub data 0 40_000 in
+  let w2 = Env.create_file env "log" in
+  Env.append w2 torn;
+  Env.close w2;
+  let got, report = Wal.Reader.read_all env "log" in
+  check Alcotest.(list string) "only the complete record" [ "before" ] got;
+  check Alcotest.string "stop reason" "torn-fragment"
+    (Wal.Reader.stop_reason_name report.Wal.Reader.stop);
+  check Alcotest.bool "orphaned FIRST fragment counted" true
+    (report.Wal.Reader.orphan_fragments >= 1);
+  (* every byte of the torn record is accounted for: 40_000 minus the
+     complete first record and its header and the two fragment headers *)
+  check Alcotest.bool "dropped bytes cover the torn record" true
+    (report.Wal.Reader.bytes_dropped > 30_000)
+
+(* Raw MIDDLE/LAST fragments with no preceding FIRST: the signature of a
+   log whose head was lost.  They must be dropped and counted, not
+   silently skipped, and reading must continue past them. *)
+let test_wal_orphan_fragments () =
+  let env = Env.create () in
+  let emit_raw w rtype fragment =
+    let body = String.make 1 (Char.chr rtype) ^ fragment in
+    let crc = Pdb_util.Crc32c.masked (Pdb_util.Crc32c.string body) in
+    let buf = Buffer.create 64 in
+    Pdb_util.Varint.put_fixed32 buf crc;
+    Buffer.add_char buf (Char.chr (String.length fragment land 0xff));
+    Buffer.add_char buf (Char.chr ((String.length fragment lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr rtype);
+    Buffer.add_string buf fragment;
+    Env.append w (Buffer.contents buf)
+  in
+  let w = Env.create_file env "log" in
+  emit_raw w 3 "orphan-middle";
+  emit_raw w 4 "orphan-last";
+  emit_raw w 1 "good";
+  Env.close w;
+  let got, report = Wal.Reader.read_all env "log" in
+  check Alcotest.(list string) "orphans dropped, good kept" [ "good" ] got;
+  check Alcotest.int "orphan count" 2 report.Wal.Reader.orphan_fragments;
+  check Alcotest.int "orphan bytes"
+    ((7 + String.length "orphan-middle") + (7 + String.length "orphan-last"))
+    report.Wal.Reader.bytes_dropped;
+  check Alcotest.string "clean otherwise" "clean"
+    (Wal.Reader.stop_reason_name report.Wal.Reader.stop)
 
 let prop_wal_roundtrip =
   qtest "wal roundtrip (random records)"
@@ -78,7 +147,7 @@ let prop_wal_roundtrip =
       let w = Wal.Writer.create env "log" in
       List.iter (Wal.Writer.add_record w) records;
       Wal.Writer.close w;
-      Wal.Reader.read_all env "log" = records)
+      fst (Wal.Reader.read_all env "log") = records)
 
 (* ---------- Manifest ---------- *)
 
@@ -156,6 +225,59 @@ let test_manifest_missing () =
   Alcotest.(check bool) "no CURRENT -> None" true
     (Manifest.recover env ~dir:"db" = None)
 
+(* ---------- Repair ---------- *)
+
+let test_sst_number_rejects_non_decimal () =
+  let n = Pdb_manifest.Repair.sst_number ~dir:"db" in
+  Alcotest.(check (option int)) "decimal" (Some 31) (n "db/000031.sst");
+  (* int_of_string would happily parse these as 31 and 10 *)
+  Alcotest.(check (option int)) "hex rejected" None (n "db/0x1f.sst");
+  Alcotest.(check (option int)) "underscore rejected" None (n "db/1_0.sst");
+  Alcotest.(check (option int)) "sign rejected" None (n "db/+1.sst");
+  Alcotest.(check (option int)) "wrong suffix" None (n "db/000031.log");
+  Alcotest.(check (option int)) "wrong dir" None (n "other/000031.sst")
+
+(* Crash, corrupt CURRENT beyond recovery, drop a decoy non-decimal .sst
+   next to the real tables, repair, and reopen: everything flushed before
+   the crash must come back, and the decoy must not be "repaired" in. *)
+let test_repair_crash_corrupt_current () =
+  let module L = Pdb_lsm.Lsm_store in
+  let env = Env.create () in
+  let opts =
+    { (Pdb_kvs.Options.hyperleveldb ()) with
+      Pdb_kvs.Options.memtable_bytes = 2 * 1024 }
+  in
+  let db = L.open_store opts ~env ~dir:"db" in
+  for i = 0 to 199 do
+    L.put db (Printf.sprintf "key%04d" i) (Printf.sprintf "val%04d" i)
+  done;
+  L.flush db;
+  Env.crash env;
+  (* CURRENT now points at garbage *)
+  let cur = Env.create_file env "db/CURRENT" in
+  Env.append cur "MANIFEST-999999";
+  Env.sync cur;
+  Env.close cur;
+  let decoy = Env.create_file env "db/0x1f.sst" in
+  Env.append decoy "not an sstable";
+  Env.sync decoy;
+  Env.close decoy;
+  Alcotest.(check bool) "recovery refuses garbage CURRENT" true
+    (Manifest.recover env ~dir:"db" = None);
+  let report = Pdb_manifest.Repair.repair env ~dir:"db" in
+  Alcotest.(check bool) "real tables recovered" true
+    (report.Pdb_manifest.Repair.tables_recovered > 0);
+  let db2 = L.open_store opts ~env ~dir:"db" in
+  L.check_invariants db2;
+  for i = 0 to 199 do
+    check
+      Alcotest.(option string)
+      (Printf.sprintf "repaired key%04d" i)
+      (Some (Printf.sprintf "val%04d" i))
+      (L.get db2 (Printf.sprintf "key%04d" i))
+  done;
+  L.close db2
+
 let () =
   Alcotest.run "wal-manifest"
     [
@@ -168,6 +290,10 @@ let () =
           Alcotest.test_case "truncated tail" `Quick
             test_wal_truncated_tail_dropped;
           Alcotest.test_case "corrupt crc" `Quick test_wal_corrupt_crc_stops;
+          Alcotest.test_case "torn mid-fragment" `Quick
+            test_wal_torn_mid_fragment;
+          Alcotest.test_case "orphan fragments" `Quick
+            test_wal_orphan_fragments;
           prop_wal_roundtrip;
         ] );
       ( "manifest",
@@ -178,5 +304,12 @@ let () =
           Alcotest.test_case "crash durability" `Quick
             test_manifest_survives_crash;
           Alcotest.test_case "missing" `Quick test_manifest_missing;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "sst_number digits only" `Quick
+            test_sst_number_rejects_non_decimal;
+          Alcotest.test_case "crash + corrupt CURRENT" `Quick
+            test_repair_crash_corrupt_current;
         ] );
     ]
