@@ -5,7 +5,9 @@
    Usage:
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe fig1.1 ... # selected experiments
-     dune exec bench/main.exe micro      # only the bechamel section *)
+     dune exec bench/main.exe micro      # only the bechamel section
+     dune exec bench/main.exe -- --json mt-smoke
+                                         # also write results to BENCH.json *)
 
 let run_bechamel () =
   print_endline "\n#### micro — Bechamel micro-benchmarks (core operations)";
@@ -87,7 +89,9 @@ let run_bechamel () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
+  let json, args = List.partition (fun a -> a = "--json") args in
+  if json <> [] then Pdb_harness.Bench_util.Json.enable ();
+  (match args with
   | [] ->
     Pdb_harness.Experiments.run_all ();
     run_bechamel ()
@@ -97,4 +101,8 @@ let () =
       (fun id ->
         if id = "micro" then run_bechamel ()
         else Pdb_harness.Experiments.run_by_id id)
-      ids
+      ids);
+  if json <> [] then begin
+    Pdb_harness.Bench_util.Json.write_file "BENCH.json";
+    print_endline "\nwrote BENCH.json"
+  end

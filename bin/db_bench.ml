@@ -18,7 +18,7 @@ let engine_of_string = function
   | "wiredtiger" -> Ok Pdb_harness.Stores.Wiredtiger
   | s -> Error (Printf.sprintf "unknown store %S" s)
 
-let run store_name benchmarks num value_size seed =
+let run store_name benchmarks num value_size seed clients =
   match engine_of_string store_name with
   | Error msg ->
     prerr_endline msg;
@@ -28,6 +28,17 @@ let run store_name benchmarks num value_size seed =
     let report name (p : B.phase) =
       Printf.printf "%-14s : %8.1f KOps/s  (%d ops, %.1f MB written, %.1f MB read)\n%!"
         name p.B.kops p.B.ops (B.mb p.B.bytes_written) (B.mb p.B.bytes_read)
+    in
+    (* with --clients > 1, report the multi-client phase plus its
+       group-commit accounting *)
+    let report_mc name ((p : B.phase), (r : B.Mc.result)) =
+      report name p;
+      Printf.printf
+        "               clients=%d groups=%d avg-group=%.2f syncs-saved=%d \
+         max-wait=%.1fms\n%!"
+        r.B.Mc.clients r.B.Mc.write_groups r.B.Mc.avg_group_size
+        r.B.Mc.syncs_saved
+        (Array.fold_left Float.max 0.0 r.B.Mc.client_wait_ns /. 1e6)
     in
     let ran_fill = ref false in
     let ensure_fill () =
@@ -39,6 +50,11 @@ let run store_name benchmarks num value_size seed =
       (fun bench ->
         match bench with
         | "fillseq" -> report bench (B.fill_seq store ~n:num ~value_bytes:value_size ~seed)
+        | "fillrandom" when clients > 1 ->
+          ran_fill := true;
+          report_mc bench
+            (B.mc_fill_random store ~clients ~n:num ~value_bytes:value_size
+               ~seed)
         | "fillrandom" ->
           ran_fill := true;
           report bench (B.fill_random store ~n:num ~value_bytes:value_size ~seed)
@@ -59,11 +75,24 @@ let run store_name benchmarks num value_size seed =
                    done;
                    store.Dyn.d_write batch
                  done))
+        | "overwrite" when clients > 1 ->
+          report_mc bench
+            (B.mc_fill_random store ~clients ~n:num ~value_bytes:value_size
+               ~seed)
         | "overwrite" ->
           report bench (B.update_random store ~n:num ~value_bytes:value_size ~seed)
+        | "readrandom" when clients > 1 ->
+          ensure_fill ();
+          report_mc bench (B.mc_read_random store ~clients ~n:num ~ops:num ~seed)
         | "readrandom" ->
           ensure_fill ();
           report bench (B.read_random store ~n:num ~ops:num ~seed)
+        | "mixed" ->
+          (* 50% reads / 50% overwrites through the client lanes *)
+          ensure_fill ();
+          report_mc bench
+            (B.mc_mixed store ~clients:(max 1 clients) ~n:num ~ops:num
+               ~value_bytes:value_size ~seed)
         | "readseq" ->
           (* full forward scan via one iterator *)
           ensure_fill ();
@@ -137,8 +166,8 @@ let benchmarks_arg =
   Arg.(value
        & opt (list string) [ "fillrandom"; "readrandom"; "seekrandom" ]
        & info [ "benchmarks" ] ~docv:"LIST"
-           ~doc:"fillseq, fillrandom, overwrite, readrandom, seekrandom, \
-                 deleterandom, compact, stats")
+           ~doc:"fillseq, fillrandom, overwrite, readrandom, mixed, \
+                 seekrandom, deleterandom, compact, stats")
 
 let num_arg =
   Arg.(value & opt int 50_000 & info [ "num" ] ~doc:"Number of keys.")
@@ -148,10 +177,17 @@ let value_size_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.")
 
+let clients_arg =
+  Arg.(value & opt int 1
+       & info [ "clients" ]
+           ~doc:"Foreground client lanes for fillrandom / overwrite / \
+                 readrandom / mixed (round-robin interleave, WAL group \
+                 commit); 1 = serial.")
+
 let cmd =
   Cmd.v
     (Cmd.info "db_bench" ~doc:"Micro-benchmarks over the simulated stores")
     Term.(const run $ store_arg $ benchmarks_arg $ num_arg $ value_size_arg
-          $ seed_arg)
+          $ seed_arg $ clients_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -14,13 +14,15 @@ let engine_of_string = function
   | "wiredtiger" -> Some Pdb_harness.Stores.Wiredtiger
   | _ -> None
 
-let run store_name workloads records ops value_size =
+let run store_name workloads records ops value_size clients =
   match engine_of_string store_name with
   | None ->
     prerr_endline ("unknown store " ^ store_name);
     exit 1
   | Some engine ->
     let store = Pdb_harness.Stores.open_engine engine in
+    (* clients=0 keeps the legacy serial measurement path *)
+    let clients = if clients <= 0 then None else Some clients in
     let report (r : Pdb_ycsb.Runner.result) =
       Printf.printf
         "%-8s : %8.1f KOps/s  (ops=%d r=%d u=%d i=%d s=%d rmw=%d; %.1f MB \
@@ -29,15 +31,22 @@ let run store_name workloads records ops value_size =
         r.Pdb_ycsb.Runner.ops r.Pdb_ycsb.Runner.reads
         r.Pdb_ycsb.Runner.updates r.Pdb_ycsb.Runner.inserts
         r.Pdb_ycsb.Runner.scans r.Pdb_ycsb.Runner.rmws
-        (float_of_int r.Pdb_ycsb.Runner.bytes_written /. 1048576.0)
+        (float_of_int r.Pdb_ycsb.Runner.bytes_written /. 1048576.0);
+      if r.Pdb_ycsb.Runner.clients > 1 then
+        Printf.printf
+          "           clients=%d groups=%d avg-group=%.2f syncs-saved=%d\n%!"
+          r.Pdb_ycsb.Runner.clients r.Pdb_ycsb.Runner.write_groups
+          r.Pdb_ycsb.Runner.avg_group_size r.Pdb_ycsb.Runner.syncs_saved
     in
-    report (Pdb_ycsb.Runner.load store ~records ~value_bytes:value_size ~seed:42);
+    report
+      (Pdb_ycsb.Runner.load ?clients store ~records ~value_bytes:value_size
+         ~seed:42);
     List.iter
       (fun name ->
         match Pdb_ycsb.Workload.by_name name with
         | Some spec ->
           report
-            (Pdb_ycsb.Runner.run store spec ~records ~operations:ops
+            (Pdb_ycsb.Runner.run ?clients store spec ~records ~operations:ops
                ~value_bytes:value_size ~seed:42)
         | None -> Printf.printf "unknown workload %S (skipped)\n%!" name)
       workloads;
@@ -59,9 +68,15 @@ let ops_arg =
 let value_size_arg =
   Arg.(value & opt int 1024 & info [ "value-size" ] ~doc:"Value bytes.")
 
+let clients_arg =
+  Arg.(value & opt int 0
+       & info [ "clients" ]
+           ~doc:"Foreground client lanes (round-robin, WAL group commit); \
+                 0 = legacy serial measurement.")
+
 let cmd =
   Cmd.v (Cmd.info "ycsb" ~doc:"YCSB benchmark over the simulated stores")
     Term.(const run $ store_arg $ workloads_arg $ records_arg $ ops_arg
-          $ value_size_arg)
+          $ value_size_arg $ clients_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -388,6 +388,9 @@ let write t batch =
       | Pdb_kvs.Write_batch.Put (k, v) -> put t k v
       | Pdb_kvs.Write_batch.Delete k -> delete t k)
 
+(* no WAL to coalesce: a group degrades to the one-by-one writes *)
+let write_group t batches = List.iter (write t) batches
+
 (* leftmost leaf id *)
 let rec leftmost t id =
   match load_page t id with

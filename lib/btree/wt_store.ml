@@ -99,15 +99,38 @@ let maybe_checkpoint t =
   if Pdb_wal.Wal.Writer.size t.journal >= t.opts.O.memtable_bytes then
     checkpoint t
 
-let write t batch =
+(* Group commit over the journal: records are appended per batch (the
+   journal bytes never depend on the group size), batches apply in
+   order with checkpoints at the same boundaries as solo writes, and —
+   honouring the durability profile — one sync at the end acks the
+   whole group.  A record retired by a mid-group checkpoint is durable
+   in the checkpointed pages before its journal is deleted. *)
+let write_group t batches =
   assert (not t.closed);
-  Pdb_wal.Wal.Writer.add_record t.journal
-    (Pdb_kvs.Write_batch.encode batch ~base_seq:0);
-  (* honour the durability profile: without the sync, an acked write is
-     lost whenever a crash beats the next checkpoint *)
-  if t.opts.O.wal_sync_writes then Pdb_wal.Wal.Writer.sync t.journal;
-  Bptree.write t.tree batch;
-  maybe_checkpoint t
+  match batches with
+  | [] -> ()
+  | batches ->
+    List.iter
+      (fun batch ->
+        Pdb_wal.Wal.Writer.add_record t.journal
+          (Pdb_kvs.Write_batch.encode batch ~base_seq:0);
+        Bptree.write t.tree batch;
+        maybe_checkpoint t)
+      batches;
+    (* without the sync, an acked write is lost whenever a crash beats
+       the next checkpoint *)
+    if t.opts.O.wal_sync_writes then Pdb_wal.Wal.Writer.sync t.journal;
+    let st = Bptree.stats t.tree in
+    let n = List.length batches in
+    st.Pdb_kvs.Engine_stats.write_groups <-
+      st.Pdb_kvs.Engine_stats.write_groups + 1;
+    st.Pdb_kvs.Engine_stats.write_group_batches <-
+      st.Pdb_kvs.Engine_stats.write_group_batches + n;
+    if t.opts.O.wal_sync_writes then
+      st.Pdb_kvs.Engine_stats.group_syncs_saved <-
+        st.Pdb_kvs.Engine_stats.group_syncs_saved + (n - 1)
+
+let write t batch = write_group t [ batch ]
 
 let put t k v =
   let b = Pdb_kvs.Write_batch.create () in

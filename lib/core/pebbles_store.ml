@@ -936,11 +936,15 @@ let open_store (opts : O.t) ~env ~dir =
      let name = log_name dir !wal_number in
      if Env.exists env name then begin
        let records, report = Wal.Reader.read_all env name in
-       wal_report := Some report;
+       let rejected = ref 0 and rejected_bytes = ref 0 in
        List.iter
          (fun record ->
            match Pdb_kvs.Write_batch.decode record with
-           | exception Invalid_argument _ -> ()
+           | exception Invalid_argument _ ->
+             (* well-framed record, undecodable batch: count it, never
+                silently skip it *)
+             incr rejected;
+             rejected_bytes := !rejected_bytes + String.length record
            | batch, base_seq ->
              let seq = ref base_seq in
              Pdb_kvs.Write_batch.iter batch (fun op ->
@@ -953,7 +957,8 @@ let open_store (opts : O.t) ~env ~dir =
                       ~user_key:k ~value:"");
                  incr seq);
              last_seq := max !last_seq (!seq - 1))
-         records
+         records;
+       wal_report := Some (report, !rejected, !rejected_bytes)
      end
    | None -> ());
   let new_log = !next_file in
@@ -1011,9 +1016,12 @@ let open_store (opts : O.t) ~env ~dir =
       t.committed.(level)
   done;
   (match !wal_report with
-   | Some (r : Wal.Reader.report) ->
-     t.stats.Stats.wal_records_recovered <- r.Wal.Reader.records_read;
-     t.stats.Stats.wal_bytes_dropped <- r.Wal.Reader.bytes_dropped
+   | Some ((r : Wal.Reader.report), rejected, rejected_bytes) ->
+     t.stats.Stats.wal_records_recovered <-
+       r.Wal.Reader.records_read - rejected;
+     t.stats.Stats.wal_bytes_dropped <-
+       r.Wal.Reader.bytes_dropped + rejected_bytes;
+     t.stats.Stats.wal_batches_rejected <- rejected
    | None -> ());
   (* the fresh MANIFEST is installed and the fresh WAL holds every
      recovered record: the crashed incarnation's files are now garbage *)
@@ -1047,48 +1055,71 @@ let stats t =
 
 (* ---------- writes ---------- *)
 
-let write t batch =
+(* All writes commit through the group path ({!Pdb_kvs.Write_group}): a
+   solo write is a group of one.  The group's records are framed
+   per-batch (log bytes identical at any group size), appended in one
+   device write and made durable by one sync — batches are acked only
+   when that sync returns. *)
+let write_group t batches =
   assert (not t.closed);
   gc_obsolete t;
   t.consecutive_seeks <- 0;
-  let count = Pdb_kvs.Write_batch.count batch in
-  if count > 0 then begin
-    (* stall model: back-pressure from the compaction backlog — L0 files
-       not yet pushed down plus jobs still pending in the queue *)
-    let backlog = List.length t.l0 + Scheduler.pending t.sched in
-    if backlog >= t.opts.O.l0_slowdown then begin
-      let ns = t.opts.O.slowdown_stall_ns *. float_of_int count in
-      Clock.stall t.clock ns;
-      Scheduler.note_stall t.sched
-        (if backlog >= t.opts.O.l0_stop then `Stop else `Slowdown)
-        ns;
-      t.stats.Stats.write_stalls <- t.stats.Stats.write_stalls + count
-    end;
-    charge_cpu t
-      ((t.opts.O.op_overhead_write_ns +. t.opts.O.cpu_per_op_ns)
-       *. float_of_int count);
-    let base_seq = t.last_seq + 1 in
-    t.last_seq <- t.last_seq + count;
-    Wal.Writer.add_record t.wal (Pdb_kvs.Write_batch.encode batch ~base_seq);
-    if t.opts.O.wal_sync_writes then Wal.Writer.sync t.wal;
-    let seq = ref base_seq in
-    Pdb_kvs.Write_batch.iter batch (fun op ->
-        charge_cpu t t.opts.O.cpu_memtable_op_ns;
-        (match op with
-         | Pdb_kvs.Write_batch.Put (k, v) ->
-           note_guard_candidate t k;
-           Pdb_kvs.Memtable.add t.mem ~seq:!seq ~kind:Ik.Value ~user_key:k
-             ~value:v
-         | Pdb_kvs.Write_batch.Delete k ->
-           Pdb_kvs.Memtable.add t.mem ~seq:!seq ~kind:Ik.Deletion ~user_key:k
-             ~value:"");
-        incr seq);
-    t.stats.Stats.user_bytes_written <-
-      t.stats.Stats.user_bytes_written
-      + Pdb_kvs.Write_batch.payload_bytes batch;
-    if Pdb_kvs.Memtable.approximate_bytes t.mem >= t.opts.O.memtable_bytes
-    then flush_memtable t
-  end
+  Pdb_kvs.Write_group.commit
+    {
+      Pdb_kvs.Write_group.count = Pdb_kvs.Write_batch.count;
+      encode = Pdb_kvs.Write_batch.encode;
+      alloc_seq =
+        (fun n ->
+          let base = t.last_seq + 1 in
+          t.last_seq <- t.last_seq + n;
+          base);
+      before_batch =
+        (fun batch ->
+          let count = Pdb_kvs.Write_batch.count batch in
+          (* stall model: back-pressure from the compaction backlog — L0
+             files not yet pushed down plus jobs still pending in the
+             queue *)
+          let backlog = List.length t.l0 + Scheduler.pending t.sched in
+          if backlog >= t.opts.O.l0_slowdown then begin
+            let ns = t.opts.O.slowdown_stall_ns *. float_of_int count in
+            Clock.stall t.clock ns;
+            Scheduler.note_stall t.sched
+              (if backlog >= t.opts.O.l0_stop then `Stop else `Slowdown)
+              ns;
+            t.stats.Stats.write_stalls <- t.stats.Stats.write_stalls + count
+          end;
+          charge_cpu t
+            ((t.opts.O.op_overhead_write_ns +. t.opts.O.cpu_per_op_ns)
+             *. float_of_int count));
+      log_append = (fun records -> Wal.Writer.add_records t.wal records);
+      log_sync = (fun () -> Wal.Writer.sync t.wal);
+      apply =
+        (fun batch ~base_seq ->
+          let seq = ref base_seq in
+          Pdb_kvs.Write_batch.iter batch (fun op ->
+              charge_cpu t t.opts.O.cpu_memtable_op_ns;
+              (match op with
+               | Pdb_kvs.Write_batch.Put (k, v) ->
+                 note_guard_candidate t k;
+                 Pdb_kvs.Memtable.add t.mem ~seq:!seq ~kind:Ik.Value
+                   ~user_key:k ~value:v
+               | Pdb_kvs.Write_batch.Delete k ->
+                 Pdb_kvs.Memtable.add t.mem ~seq:!seq ~kind:Ik.Deletion
+                   ~user_key:k ~value:"");
+              incr seq);
+          t.stats.Stats.user_bytes_written <-
+            t.stats.Stats.user_bytes_written
+            + Pdb_kvs.Write_batch.payload_bytes batch);
+      memtable_full =
+        (fun () ->
+          Pdb_kvs.Memtable.approximate_bytes t.mem >= t.opts.O.memtable_bytes);
+      flush = (fun () -> flush_memtable t);
+      sync_writes = t.opts.O.wal_sync_writes;
+      stats = t.stats;
+    }
+    batches
+
+let write t batch = write_group t [ batch ]
 
 let put t k v =
   t.stats.Stats.puts <- t.stats.Stats.puts + 1;

@@ -46,6 +46,13 @@ val delete : t -> string -> unit
 (** [write t batch] applies a batch atomically (one WAL record). *)
 val write : t -> Pdb_kvs.Write_batch.t -> unit
 
+(** [write_group t batches] commits [batches] as one WAL group — the
+    LevelDB writers-queue protocol: one record per batch (log bytes
+    identical at any group size), one coalesced device append, one sync;
+    no batch is acked before the group's sync returns.  State
+    transitions are exactly those of writing the batches one by one. *)
+val write_group : t -> Pdb_kvs.Write_batch.t list -> unit
+
 (** [flush t] persists the active memtable as a level-0 sstable and runs
     any compaction it triggers. *)
 val flush : t -> unit

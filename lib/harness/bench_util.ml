@@ -112,12 +112,184 @@ let delete_random (store : Dyn.dyn) ~n ~seed =
   measure store n (fun () ->
       Array.iter (fun i -> store.Dyn.d_delete (key_of i)) perm)
 
+(* ---------- multi-client phases (foreground lanes + group commit) ------ *)
+
+module Mc = Pdb_kvs.Multi_client
+
+(** [mc_run store ~clients ops] drives [ops] through the multi-client
+    executor and reports both the phase (throughput, IO) and the
+    executor's group-commit result. *)
+let mc_run (store : Dyn.dyn) ~clients ops =
+  let io0 = Pdb_simio.Io_stats.snapshot (Env.stats store.Dyn.d_env) in
+  let r = Mc.run store ~clients ops in
+  let io1 = Pdb_simio.Io_stats.snapshot (Env.stats store.Dyn.d_env) in
+  let io = Pdb_simio.Io_stats.diff io1 io0 in
+  let elapsed = r.Mc.elapsed_ns in
+  ( {
+      ops = r.Mc.ops;
+      elapsed_ns = elapsed;
+      kops =
+        (if elapsed <= 0.0 then 0.0
+         else float_of_int r.Mc.ops /. (elapsed /. 1e9) /. 1000.0);
+      bytes_written = io.Pdb_simio.Io_stats.bytes_written;
+      bytes_read = io.Pdb_simio.Io_stats.bytes_read;
+    },
+    r )
+
+let put_op key value =
+  let b = Pdb_kvs.Write_batch.create () in
+  Pdb_kvs.Write_batch.put b key value;
+  Mc.Write b
+
+(** [mc_fill_random] — the write-only multithreaded workload: [n] puts in
+    random key order across [clients] lanes. *)
+let mc_fill_random (store : Dyn.dyn) ~clients ~n ~value_bytes ~seed =
+  let rng = Pdb_util.Rng.create seed in
+  let perm = Array.init n Fun.id in
+  Pdb_util.Rng.shuffle rng perm;
+  let ops =
+    Array.to_list
+      (Array.map (fun i -> put_op (key_of i) (value_of rng value_bytes)) perm)
+  in
+  mc_run store ~clients ops
+
+(** [mc_read_random] — the read-only multithreaded workload: [ops] point
+    lookups across [clients] lanes. *)
+let mc_read_random (store : Dyn.dyn) ~clients ~n ~ops ~seed =
+  let rng = Pdb_util.Rng.create (seed + 1) in
+  let acc = ref [] in
+  for _ = 1 to ops do
+    let key = key_of (Pdb_util.Rng.int rng n) in
+    acc := Mc.Other (fun () -> ignore (store.Dyn.d_get key)) :: !acc
+  done;
+  mc_run store ~clients (List.rev !acc)
+
+(** [mc_mixed] — the mixed multithreaded workload: 50% reads / 50%
+    overwrites, uniform over the [n]-key space. *)
+let mc_mixed (store : Dyn.dyn) ~clients ~n ~ops ~value_bytes ~seed =
+  let rng = Pdb_util.Rng.create (seed + 2) in
+  let acc = ref [] in
+  for _ = 1 to ops do
+    let op =
+      if Pdb_util.Rng.int rng 2 = 0 then begin
+        let key = key_of (Pdb_util.Rng.int rng n) in
+        Mc.Other (fun () -> ignore (store.Dyn.d_get key))
+      end
+      else put_op (key_of (Pdb_util.Rng.int rng n)) (value_of rng value_bytes)
+    in
+    acc := op :: !acc
+  done;
+  mc_run store ~clients (List.rev !acc)
+
 (* ---------- reporting ---------- *)
 
 let mb bytes = float_of_int bytes /. (1024.0 *. 1024.0)
 
-(** Render rows as an aligned table with a header. *)
+(** Machine-readable results collector behind [bench/main.exe --json]:
+    every printed table is mirrored here structurally, and experiments
+    push named numeric metrics (ops/s, write-amp, group-commit stats);
+    {!Json.write_file} dumps everything as BENCH.json so the perf
+    trajectory is trackable across PRs. *)
+module Json = struct
+  type table = {
+    title : string;
+    header : string list;
+    rows : string list list;
+  }
+
+  let enabled = ref false
+  let current = ref "global"
+
+  (* accumulated in reverse arrival order, tagged with the experiment id
+     that was current when they were recorded *)
+  let tables : (string * table) list ref = ref []
+  let metrics : (string * (string * string * float)) list ref = ref []
+
+  let enable () = enabled := true
+  let set_context id = current := id
+
+  let record_table ~title ~header rows =
+    if !enabled then tables := (!current, { title; header; rows }) :: !tables
+
+  (** [metric ~store name value] attaches one numeric result to the
+      current experiment. *)
+  let metric ~store name value =
+    if !enabled then metrics := (!current, (store, name, value)) :: !metrics
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let write_file path =
+    let tables = List.rev !tables and metrics = List.rev !metrics in
+    (* experiment ids in first-appearance order *)
+    let ids = ref [] in
+    List.iter
+      (fun id -> if not (List.mem id !ids) then ids := id :: !ids)
+      (List.map fst tables @ List.map fst metrics);
+    let ids = List.rev !ids in
+    let b = Buffer.create 65536 in
+    let str s = Buffer.add_string b (Printf.sprintf "\"%s\"" (escape s)) in
+    let strings sep f xs =
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b sep;
+          f x)
+        xs
+    in
+    Buffer.add_string b "{\n  \"experiments\": [";
+    strings ","
+      (fun id ->
+        Buffer.add_string b "\n    {\n      \"id\": ";
+        str id;
+        Buffer.add_string b ",\n      \"tables\": [";
+        strings ","
+          (fun (_, t) ->
+            Buffer.add_string b "\n        {\"title\": ";
+            str t.title;
+            Buffer.add_string b ", \"header\": [";
+            strings ", " str t.header;
+            Buffer.add_string b "], \"rows\": [";
+            strings ", "
+              (fun row ->
+                Buffer.add_char b '[';
+                strings ", " str row;
+                Buffer.add_char b ']')
+              t.rows;
+            Buffer.add_string b "]}")
+          (List.filter (fun (i, _) -> i = id) tables);
+        Buffer.add_string b "],\n      \"metrics\": [";
+        strings ","
+          (fun (_, (store, name, value)) ->
+            Buffer.add_string b "\n        {\"store\": ";
+            str store;
+            Buffer.add_string b ", \"name\": ";
+            str name;
+            Buffer.add_string b
+              (Printf.sprintf ", \"value\": %.6g}" value))
+          (List.filter (fun (i, _) -> i = id) metrics);
+        Buffer.add_string b "]\n    }")
+      ids;
+    Buffer.add_string b "\n  ]\n}\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents b);
+    close_out oc
+end
+
+(** Render rows as an aligned table with a header (mirrored into the
+    {!Json} collector when enabled). *)
 let print_table ~title ~header rows =
+  Json.record_table ~title ~header rows;
   let all = header :: rows in
   let cols = List.length header in
   let width c =

@@ -827,6 +827,129 @@ let run_future_work () =
     before removed;
   P.close db
 
+(* ---------------- mt : multithreaded clients + group commit ------------- *)
+
+(* The paper's multithreaded-throughput figures (§4.2, ch. 5): N client
+   threads drive the store concurrently.  Here N foreground client lanes
+   replay the same seeded workload round-robin (store state is identical
+   at every client count — tested in test_group_commit.ml); writes run
+   under [wal_sync_writes], where the WAL group commit amortizes the
+   per-commit sync across the clients queued in the window.  Expected
+   shape: write throughput rises from 1 to 4 clients for every engine
+   (the leader's one sync covers the whole group), reads scale until the
+   shared device saturates, and PebblesDB stays ahead of the leveled
+   baselines — its foreground is the same, but its guard-parallel
+   compaction drains the background horizon faster. *)
+let run_multithreaded_at ~n () =
+  let client_counts = [ 1; 2; 4; 8 ] in
+  let sync_tweak o = { o with O.wal_sync_writes = true } in
+  let results =
+    List.map
+      (fun engine ->
+        let name = Stores.engine_name engine in
+        let per_clients =
+          List.map
+            (fun clients ->
+              let store = Stores.open_engine ~tweak:sync_tweak engine in
+              let fill, fr =
+                B.mc_fill_random store ~clients ~n ~value_bytes:value_1k ~seed
+              in
+              let read, _ =
+                B.mc_read_random store ~clients ~n ~ops:(n / 2) ~seed
+              in
+              let mixed, mr =
+                B.mc_mixed store ~clients ~n ~ops:(n / 2)
+                  ~value_bytes:value_1k ~seed
+              in
+              store.Dyn.d_close ();
+              B.Json.metric ~store:name
+                (Printf.sprintf "write_kops_%dc" clients)
+                fill.B.kops;
+              B.Json.metric ~store:name
+                (Printf.sprintf "read_kops_%dc" clients)
+                read.B.kops;
+              B.Json.metric ~store:name
+                (Printf.sprintf "mixed_kops_%dc" clients)
+                mixed.B.kops;
+              B.Json.metric ~store:name
+                (Printf.sprintf "syncs_saved_%dc" clients)
+                (float_of_int fr.B.Mc.syncs_saved);
+              (clients, fill, read, mixed, fr, mr))
+            client_counts
+        in
+        (name, per_clients))
+      Stores.paper_stores
+  in
+  let kops_table title pick =
+    B.print_table ~title
+      ~header:
+        ([ "store" ]
+        @ List.map (fun c -> Printf.sprintf "%dc KOps/s" c) client_counts
+        @ [ "4c/1c" ])
+      (List.map
+         (fun (name, per) ->
+           let at c =
+             let _, fill, read, mixed, _, _ =
+               List.find (fun (c', _, _, _, _, _) -> c' = c) per
+             in
+             (pick (fill, read, mixed)).B.kops
+           in
+           [ name ]
+           @ List.map (fun c -> B.fmt_f ~digits:1 (at c)) client_counts
+           @ [ B.fmt_f (rel (at 1) (at 4)) ])
+         results)
+  in
+  kops_table "Multithreaded write-only (random fill, wal_sync_writes)"
+    (fun (f, _, _) -> f);
+  kops_table "Multithreaded read-only (random point lookups)"
+    (fun (_, r, _) -> r);
+  kops_table "Multithreaded mixed (50% reads / 50% writes)"
+    (fun (_, _, m) -> m);
+  (* group-commit accounting for the write-only phase *)
+  B.print_table ~title:"Group commit (write-only phase)"
+    ~header:
+      [ "store"; "clients"; "groups"; "avg group"; "syncs saved";
+        "max wait (ms)" ]
+    (List.concat_map
+       (fun (name, per) ->
+         List.map
+           (fun (clients, _, _, _, (fr : B.Mc.result), _) ->
+             [
+               name;
+               string_of_int clients;
+               string_of_int fr.B.Mc.write_groups;
+               B.fmt_f fr.B.Mc.avg_group_size;
+               string_of_int fr.B.Mc.syncs_saved;
+               B.fmt_f
+                 (Array.fold_left Float.max 0.0 fr.B.Mc.client_wait_ns
+                 /. 1e6);
+             ])
+           per)
+       results);
+  (* the acceptance shape, stated explicitly *)
+  List.iter
+    (fun (name, per) ->
+      let kops c =
+        let _, fill, _, _, _, _ =
+          List.find (fun (c', _, _, _, _, _) -> c' = c) per
+        in
+        fill.B.kops
+      in
+      let _, _, _, _, (fr8 : B.Mc.result), _ =
+        List.find (fun (c', _, _, _, _, _) -> c' = 8) per
+      in
+      pf "  %s: write 1->4 clients %.1f -> %.1f KOps/s (%.2fx), syncs saved \
+          at 8 clients: %d\n"
+        name (kops 1) (kops 4)
+        (rel (kops 1) (kops 4))
+        fr8.B.Mc.syncs_saved)
+    results
+
+let run_multithreaded () = run_multithreaded_at ~n:n_medium ()
+
+(* reduced scale for the CI smoke step *)
+let run_multithreaded_smoke () = run_multithreaded_at ~n:(n_medium / 5) ()
+
 (* ---------------- registry ---------------------------------------------- *)
 
 let all : experiment list =
@@ -849,6 +972,10 @@ let all : experiment list =
     { id = "sec5.5"; title = "CPU and bloom cost"; run = run_cpu_cost };
     { id = "ablation"; title = "Optimization ablation"; run = run_ablation };
     { id = "tuning"; title = "Tuning FLSM (sec 3.5)"; run = run_tuning };
+    { id = "mt"; title = "Multithreaded clients (group commit)";
+      run = run_multithreaded };
+    { id = "mt-smoke"; title = "Multithreaded clients (reduced scale)";
+      run = run_multithreaded_smoke };
     { id = "future"; title = "Future-work features (ch. 7)";
       run = run_future_work };
   ]
@@ -858,13 +985,18 @@ let find id = List.find_opt (fun e -> e.id = id) all
 let run_by_id id =
   match find id with
   | Some e ->
+    B.Json.set_context e.id;
     pf "\n#### %s — %s\n" e.id e.title;
     e.run ()
   | None -> pf "unknown experiment id %s\n" id
 
+(* the smoke id duplicates mt at reduced scale — skip it in full runs *)
 let run_all () =
   List.iter
     (fun e ->
-      pf "\n#### %s — %s\n%!" e.id e.title;
-      e.run ())
+      if e.id <> "mt-smoke" then begin
+        B.Json.set_context e.id;
+        pf "\n#### %s — %s\n%!" e.id e.title;
+        e.run ()
+      end)
     all

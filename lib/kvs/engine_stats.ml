@@ -42,6 +42,20 @@ type t = {
       (** complete WAL records replayed at the last open *)
   mutable wal_bytes_dropped : int;
       (** WAL bytes lost to a torn/corrupt tail or orphaned fragments *)
+  mutable wal_batches_rejected : int;
+      (** well-framed WAL records whose batch payload failed to decode at
+          the last open — counted, never silently skipped *)
+  (* group-commit accounting (LevelDB-style writers queue) *)
+  mutable write_groups : int;  (** commit groups formed, singletons included *)
+  mutable write_group_batches : int;
+      (** batches committed through groups; [/ write_groups] is the
+          average group size *)
+  mutable group_syncs_saved : int;
+      (** WAL syncs amortised away by grouping: [size - 1] per group
+          committed under [wal_sync_writes] *)
+  mutable client_wait_ns : float array;
+      (** per-client foreground blocked time (device contention + waiting
+          on a group leader), set by the multi-client driver *)
 }
 
 let bump_breakdown t category bytes =
@@ -84,6 +98,11 @@ let create () =
     worker_busy_ns = [||];
     wal_records_recovered = 0;
     wal_bytes_dropped = 0;
+    wal_batches_rejected = 0;
+    write_groups = 0;
+    write_group_batches = 0;
+    group_syncs_saved = 0;
+    client_wait_ns = [||];
   }
 
 let pp ppf t =

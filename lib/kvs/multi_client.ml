@@ -1,0 +1,118 @@
+(** Multi-client foreground driver.
+
+    Replays one workload — a fixed global sequence of operations — as N
+    concurrent clients: operation [i] belongs to client [i mod N], the
+    store executes every operation in the global order (so store state
+    is byte-identical at any client count), and each operation's
+    measured foreground cost is placed on its client's timeline by
+    {!Pdb_simio.Fg_lanes}, where the clients' CPU work overlaps and
+    their device time contends for the one shared device.
+
+    Writes group-commit: a run of consecutive pending writes — one per
+    client, so at most N — is handed to the engine as one commit group
+    ({!Store_intf.dyn.d_write_group}); the leader's coalesced WAL append
+    and single sync are placed once, and every member lane waits for the
+    commit.  This is the saturated writers queue of LevelDB's group
+    commit: under load, every client has a write queued by the time the
+    leader syncs, so the window always fills.
+
+    The reported elapsed time is
+    [max(client-lane horizon, foreground device time + background
+    horizon advance)]: a phase is bound by its slowest client, or by the
+    shared device once the serialised foreground IO plus the compaction
+    drain exceed every lane. *)
+
+module Fg = Pdb_simio.Fg_lanes
+module Clock = Pdb_simio.Clock
+
+type op =
+  | Write of Write_batch.t  (** groupable: put / delete / update batches *)
+  | Other of (unit -> unit)
+      (** executed as-is on its client's lane: reads, scans, RMW *)
+
+type result = {
+  clients : int;
+  ops : int;
+  elapsed_ns : float;
+  write_groups : int;  (** groups formed during this phase *)
+  grouped_batches : int;  (** batches committed through those groups *)
+  avg_group_size : float;
+  syncs_saved : int;  (** WAL syncs amortised away during this phase *)
+  client_wait_ns : float array;
+      (** per-client blocked time: device contention + group waits *)
+}
+
+(* Run [f], returning the clock's foreground deltas: (cpu, device IO,
+   stall).  Background work triggered inside [f] charges the background
+   lane and the worker-timeline horizon, handled at phase level. *)
+let measured clock f =
+  let c0 = Clock.snapshot clock in
+  f ();
+  let d = Clock.diff (Clock.snapshot clock) c0 in
+  (d.Clock.cpu_ns, d.Clock.foreground_ns, d.Clock.stall_ns)
+
+(** [run store ~clients ops] executes [ops] (in order) as [clients]
+    round-robin client lanes. *)
+let run (store : Store_intf.dyn) ~clients ops =
+  let clients = max 1 clients in
+  let clock = Pdb_simio.Env.clock store.Store_intf.d_env in
+  let lanes = Fg.create ~clients in
+  let bg0 = (Clock.snapshot clock).Clock.bg_horizon_ns in
+  let stats0 = store.Store_intf.d_stats () in
+  let groups0 = stats0.Engine_stats.write_groups in
+  let batches0 = stats0.Engine_stats.write_group_batches in
+  let saved0 = stats0.Engine_stats.group_syncs_saved in
+  let ops = Array.of_list ops in
+  let n = Array.length ops in
+  let i = ref 0 in
+  while !i < n do
+    let client = !i mod clients in
+    match ops.(!i) with
+    | Other f ->
+      let cpu_ns, io_ns, stall_ns = measured clock (fun () -> f ()) in
+      Fg.place lanes ~client ~cpu_ns ~io_ns ~stall_ns;
+      incr i
+    | Write _ ->
+      (* the commit window: every client with a write pending at the
+         head of the global order joins the group, at most one batch
+         per client *)
+      let rec collect k members batches =
+        if !i < n && k < clients then
+          match ops.(!i) with
+          | Write b ->
+            let c = !i mod clients in
+            incr i;
+            collect (k + 1) (c :: members) (b :: batches)
+          | Other _ -> (members, batches)
+        else (members, batches)
+      in
+      let members, batches = collect 0 [] [] in
+      let members = List.rev members and batches = List.rev batches in
+      let cpu_ns, io_ns, stall_ns =
+        measured clock (fun () -> store.Store_intf.d_write_group batches)
+      in
+      Fg.place_group lanes ~members ~cpu_ns ~io_ns ~stall_ns
+  done;
+  let bg_advance =
+    Float.max 0.0 ((Clock.snapshot clock).Clock.bg_horizon_ns -. bg0)
+  in
+  let elapsed_ns =
+    Float.max (Fg.horizon_ns lanes) (Fg.device_ns lanes +. bg_advance)
+  in
+  let stats = store.Store_intf.d_stats () in
+  let write_groups = stats.Engine_stats.write_groups - groups0 in
+  let grouped_batches = stats.Engine_stats.write_group_batches - batches0 in
+  let client_wait_ns = Fg.wait_ns lanes in
+  stats.Engine_stats.client_wait_ns <- Array.copy client_wait_ns;
+  {
+    clients;
+    ops = n;
+    elapsed_ns;
+    write_groups;
+    grouped_batches;
+    avg_group_size =
+      (if write_groups = 0 then 0.0
+       else float_of_int grouped_batches /. float_of_int write_groups);
+    syncs_saved = stats.Engine_stats.group_syncs_saved - saved0;
+    client_wait_ns;
+  }

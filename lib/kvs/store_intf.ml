@@ -21,6 +21,12 @@ module type S = sig
   (** [write t batch] applies a batch atomically. *)
   val write : t -> Write_batch.t -> unit
 
+  (** [write_group t batches] commits [batches] as one group, in order —
+      engines with a WAL group commit (see {!Write_group}) coalesce the
+      log append and sync; others degrade to writing them one by one.
+      Store state is always exactly that of the one-by-one writes. *)
+  val write_group : t -> Write_batch.t list -> unit
+
   (** [iterator t] is a database iterator over live user keys (tombstones
       and stale versions filtered). *)
   val iterator : t -> Iter.t
@@ -57,6 +63,7 @@ type dyn = {
   d_get : string -> string option;
   d_delete : string -> unit;
   d_write : Write_batch.t -> unit;
+  d_write_group : Write_batch.t list -> unit;
   d_iterator : unit -> Iter.t;
   d_flush : unit -> unit;
   d_compact_all : unit -> unit;
@@ -77,6 +84,7 @@ let dyn_of (type a) (module M : S with type t = a) (t : a) =
     d_get = M.get t;
     d_delete = M.delete t;
     d_write = M.write t;
+    d_write_group = M.write_group t;
     d_iterator = (fun () -> M.iterator t);
     d_flush = (fun () -> M.flush t);
     d_compact_all = (fun () -> M.compact_all t);

@@ -1,0 +1,76 @@
+(** WAL group commit: the LevelDB writers-queue protocol, shared by the
+    LSM and FLSM engines.
+
+    When several clients have a write pending at the same commit window,
+    a leader commits all of them at once: their batches are framed as
+    individual WAL records — so the log bytes are identical whether the
+    group has one member or eight — but appended in {e one} device write
+    and made durable by {e one} sync.  Followers are acked when the
+    leader's sync returns, which is why the whole group commits or none
+    of it does under the durability contract: no member is acknowledged
+    before the group's records are synced.
+
+    The driver is generic over the engine's internals via {!hooks}.  It
+    preserves, batch for batch, the state transitions of the serial
+    write path: sequence numbers are allocated in arrival order, batches
+    are applied to the memtable in arrival order, and a memtable flush
+    triggers at exactly the same batch boundaries — so store state is
+    byte-identical across client counts.  Before a mid-group flush
+    rotates the WAL, the records buffered so far are pushed to the old
+    log; every record a flushed memtable depends on is therefore in the
+    log that the flush retires, never stranded in a deleted file. *)
+
+type hooks = {
+  count : Write_batch.t -> int;
+  encode : Write_batch.t -> base_seq:int -> string;
+  alloc_seq : int -> int;
+      (** [alloc_seq n] allocates [n] sequence numbers, returns the base *)
+  before_batch : Write_batch.t -> unit;
+      (** per-batch stall back-pressure + foreground CPU charges *)
+  log_append : string list -> unit;
+      (** append encoded records to the live WAL in one device write *)
+  log_sync : unit -> unit;
+  apply : Write_batch.t -> base_seq:int -> unit;
+      (** insert into the memtable (and any engine-specific tracking) *)
+  memtable_full : unit -> bool;
+  flush : unit -> unit;  (** flush the memtable; rotates the WAL *)
+  sync_writes : bool;
+  stats : Engine_stats.t;
+}
+
+(** [commit hooks batches] commits [batches] as one group, in order. *)
+let commit h batches =
+  let batches = List.filter (fun b -> h.count b > 0) batches in
+  match batches with
+  | [] -> ()
+  | batches ->
+    let pending = ref [] in
+    let flush_pending () =
+      if !pending <> [] then begin
+        h.log_append (List.rev !pending);
+        pending := []
+      end
+    in
+    List.iter
+      (fun batch ->
+        h.before_batch batch;
+        let base_seq = h.alloc_seq (h.count batch) in
+        pending := h.encode batch ~base_seq :: !pending;
+        h.apply batch ~base_seq;
+        if h.memtable_full () then begin
+          (* push this group's records into the log the flush is about
+             to retire before the rotation deletes it *)
+          flush_pending ();
+          h.flush ()
+        end)
+      batches;
+    flush_pending ();
+    if h.sync_writes then h.log_sync ();
+    let n = List.length batches in
+    let st = h.stats in
+    st.Engine_stats.write_groups <- st.Engine_stats.write_groups + 1;
+    st.Engine_stats.write_group_batches <-
+      st.Engine_stats.write_group_batches + n;
+    if h.sync_writes then
+      st.Engine_stats.group_syncs_saved <-
+        st.Engine_stats.group_syncs_saved + (n - 1)

@@ -126,18 +126,23 @@ let snapshot_edit ~levels ~log_number ~next_file ~last_seq =
   e
 
 (* Replay the WAL numbered [wal_number] into [mem]; returns the highest
-   sequence number seen and the reader's recovery report.  The log file
-   is left in place — it may be deleted only once its contents are
-   durable elsewhere (the re-logged fresh WAL installed by open). *)
+   sequence number seen and the reader's recovery report, extended with
+   any well-framed records whose batch payload failed to decode — those
+   are counted as rejected, never silently skipped.  The log file is
+   left in place — it may be deleted only once its contents are durable
+   elsewhere (the re-logged fresh WAL installed by open). *)
 let replay_wal env ~dir ~wal_number ~mem ~last_seq =
   let name = log_name dir wal_number in
   let seq_max = ref last_seq in
   if Env.exists env name then begin
     let records, report = Wal.Reader.read_all env name in
+    let rejected = ref 0 and rejected_bytes = ref 0 in
     List.iter
       (fun record ->
         match Pdb_kvs.Write_batch.decode record with
-        | exception Invalid_argument _ -> () (* torn batch: stop-gap skip *)
+        | exception Invalid_argument _ ->
+          incr rejected;
+          rejected_bytes := !rejected_bytes + String.length record
         | batch, base_seq ->
           let seq = ref base_seq in
           Pdb_kvs.Write_batch.iter batch (fun op ->
@@ -151,7 +156,7 @@ let replay_wal env ~dir ~wal_number ~mem ~last_seq =
               incr seq);
           seq_max := max !seq_max (!seq - 1))
       records;
-    (!seq_max, Some report)
+    (!seq_max, Some (report, !rejected, !rejected_bytes))
   end
   else (!seq_max, None)
 
@@ -628,11 +633,12 @@ let open_store (opts : O.t) ~env ~dir =
     }
   in
   (match !wal_report with
-   | Some (r : Wal.Reader.report) ->
+   | Some ((r : Wal.Reader.report), rejected, rejected_bytes) ->
      t.stats.Pdb_kvs.Engine_stats.wal_records_recovered <-
-       r.Wal.Reader.records_read;
+       r.Wal.Reader.records_read - rejected;
      t.stats.Pdb_kvs.Engine_stats.wal_bytes_dropped <-
-       r.Wal.Reader.bytes_dropped
+       r.Wal.Reader.bytes_dropped + rejected_bytes;
+     t.stats.Pdb_kvs.Engine_stats.wal_batches_rejected <- rejected
    | None -> ());
   Manifest.cleanup_stale env ~dir ~live_log_number:new_log
     ~live_manifest:(Manifest.file_name t.manifest);
@@ -680,38 +686,60 @@ let apply_batch_to_memtable t batch base_seq =
            ~value:"");
       incr seq)
 
-let write t batch =
+(* All writes commit through the group path ({!Pdb_kvs.Write_group}): a
+   solo write is a group of one.  The group's records are framed
+   per-batch (log bytes identical at any group size), appended in one
+   device write and made durable by one sync — batches are acked only
+   when that sync returns. *)
+let write_group t batches =
   assert (not t.closed);
   gc_obsolete t;
   t.consecutive_seeks <- 0;
-  let count = Pdb_kvs.Write_batch.count batch in
-  if count > 0 then begin
-    (* stall model: back-pressure from the compaction backlog — L0 files
-       not yet pushed down plus jobs still pending in the queue *)
-    let backlog = List.length t.levels.(0) + Scheduler.pending t.sched in
-    if backlog >= t.opts.O.l0_slowdown then begin
-      let ns = t.opts.O.slowdown_stall_ns *. float_of_int count in
-      Clock.stall t.clock ns;
-      Scheduler.note_stall t.sched
-        (if backlog >= t.opts.O.l0_stop then `Stop else `Slowdown)
-        ns;
-      t.stats.Pdb_kvs.Engine_stats.write_stalls <-
-        t.stats.Pdb_kvs.Engine_stats.write_stalls + count
-    end;
-    charge_cpu t (t.opts.O.op_overhead_write_ns *. float_of_int count);
-    charge_cpu t (t.opts.O.cpu_per_op_ns *. float_of_int count);
-    let base_seq = t.last_seq + 1 in
-    t.last_seq <- t.last_seq + count;
-    Wal.Writer.add_record t.wal
-      (Pdb_kvs.Write_batch.encode batch ~base_seq);
-    if t.opts.O.wal_sync_writes then Wal.Writer.sync t.wal;
-    apply_batch_to_memtable t batch base_seq;
-    t.stats.Pdb_kvs.Engine_stats.user_bytes_written <-
-      t.stats.Pdb_kvs.Engine_stats.user_bytes_written
-      + Pdb_kvs.Write_batch.payload_bytes batch;
-    if Pdb_kvs.Memtable.approximate_bytes t.mem >= t.opts.O.memtable_bytes
-    then flush_memtable t
-  end
+  Pdb_kvs.Write_group.commit
+    {
+      Pdb_kvs.Write_group.count = Pdb_kvs.Write_batch.count;
+      encode = Pdb_kvs.Write_batch.encode;
+      alloc_seq =
+        (fun n ->
+          let base = t.last_seq + 1 in
+          t.last_seq <- t.last_seq + n;
+          base);
+      before_batch =
+        (fun batch ->
+          let count = Pdb_kvs.Write_batch.count batch in
+          (* stall model: back-pressure from the compaction backlog — L0
+             files not yet pushed down plus jobs still pending in the
+             queue *)
+          let backlog = List.length t.levels.(0) + Scheduler.pending t.sched in
+          if backlog >= t.opts.O.l0_slowdown then begin
+            let ns = t.opts.O.slowdown_stall_ns *. float_of_int count in
+            Clock.stall t.clock ns;
+            Scheduler.note_stall t.sched
+              (if backlog >= t.opts.O.l0_stop then `Stop else `Slowdown)
+              ns;
+            t.stats.Pdb_kvs.Engine_stats.write_stalls <-
+              t.stats.Pdb_kvs.Engine_stats.write_stalls + count
+          end;
+          charge_cpu t (t.opts.O.op_overhead_write_ns *. float_of_int count);
+          charge_cpu t (t.opts.O.cpu_per_op_ns *. float_of_int count));
+      log_append = (fun records -> Wal.Writer.add_records t.wal records);
+      log_sync = (fun () -> Wal.Writer.sync t.wal);
+      apply =
+        (fun batch ~base_seq ->
+          apply_batch_to_memtable t batch base_seq;
+          t.stats.Pdb_kvs.Engine_stats.user_bytes_written <-
+            t.stats.Pdb_kvs.Engine_stats.user_bytes_written
+            + Pdb_kvs.Write_batch.payload_bytes batch);
+      memtable_full =
+        (fun () ->
+          Pdb_kvs.Memtable.approximate_bytes t.mem >= t.opts.O.memtable_bytes);
+      flush = (fun () -> flush_memtable t);
+      sync_writes = t.opts.O.wal_sync_writes;
+      stats = t.stats;
+    }
+    batches
+
+let write t batch = write_group t [ batch ]
 
 let put t k v =
   t.stats.Pdb_kvs.Engine_stats.puts <- t.stats.Pdb_kvs.Engine_stats.puts + 1;

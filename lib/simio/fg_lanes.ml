@@ -1,0 +1,108 @@
+(** Discrete-event placement of foreground work on N client timelines.
+
+    The compaction counterpart is {!Sched}: there, finished background
+    jobs are placed on per-worker lanes.  Here, finished {e foreground}
+    operations are placed on per-client lanes.  The store still executes
+    every operation serially — in the one global order fixed by the
+    workload — so store state is byte-identical across client counts;
+    only the modeled clock changes.
+
+    The contention model is the one the paper's multithreaded figures
+    exercise: each client's CPU work (its own write path, memtable
+    probes, comparisons) runs on its own core and overlaps freely with
+    the other clients, while device time serialises on the single shared
+    device.  A grouped commit ({!place_group}) additionally charges its
+    device time once — the leader performs the coalesced WAL append and
+    sync — and every member lane waits for the group to complete, which
+    is exactly how group commit turns N per-write syncs into one. *)
+
+type t = {
+  free_at : float array;  (** per-client lane frontier *)
+  wait_ns : float array;
+      (** per-client time spent blocked: device contention for solo ops,
+          waiting on the leader's commit for group members *)
+  mutable device_free : float;  (** shared-device frontier *)
+  mutable ops_placed : int;
+  mutable groups_placed : int;
+}
+
+let create ~clients =
+  let n = max 1 clients in
+  {
+    free_at = Array.make n 0.0;
+    wait_ns = Array.make n 0.0;
+    device_free = 0.0;
+    ops_placed = 0;
+    groups_placed = 0;
+  }
+
+let clients t = Array.length t.free_at
+let ops_placed t = t.ops_placed
+let groups_placed t = t.groups_placed
+let wait_ns t = Array.copy t.wait_ns
+
+(** [horizon_ns t] is the finish time of the slowest client lane — the
+    foreground completion horizon of the phase. *)
+let horizon_ns t = Array.fold_left Float.max 0.0 t.free_at
+
+(** [device_ns t] is the shared-device frontier: total serialised
+    foreground device time placed so far. *)
+let device_ns t = t.device_free
+
+(** [place t ~client ~cpu_ns ~io_ns ~stall_ns] places one operation on
+    [client]'s lane.  Its CPU overlaps its own device time (the lane is
+    bound by the slower of the two); the device part starts no earlier
+    than the shared-device frontier; stall time (write back-pressure) is
+    serial on the lane. *)
+let place t ~client ~cpu_ns ~io_ns ~stall_ns =
+  let start = t.free_at.(client) in
+  let finish =
+    if io_ns > 0.0 then begin
+      let dev_start = Float.max start t.device_free in
+      t.wait_ns.(client) <- t.wait_ns.(client) +. (dev_start -. start);
+      let dev_end = dev_start +. io_ns in
+      t.device_free <- dev_end;
+      Float.max (start +. cpu_ns) dev_end
+    end
+    else start +. cpu_ns
+  in
+  t.free_at.(client) <- finish +. stall_ns;
+  t.ops_placed <- t.ops_placed + 1
+
+(** [place_group t ~members ~cpu_ns ~io_ns ~stall_ns] places one group
+    commit.  Each member first runs its share of the group's CPU work on
+    its own lane (in parallel with the other members); the leader then
+    performs the group's device work — the coalesced WAL append and the
+    single sync — starting when the last member has arrived and the
+    device is free.  Every member lane advances to the commit's finish:
+    followers are charged wait time, not IO. *)
+let place_group t ~members ~cpu_ns ~io_ns ~stall_ns =
+  match members with
+  | [] -> ()
+  | [ client ] -> place t ~client ~cpu_ns ~io_ns ~stall_ns
+  | _ ->
+    let k = float_of_int (List.length members) in
+    let cpu_each = cpu_ns /. k in
+    let ready =
+      List.fold_left
+        (fun acc c -> Float.max acc (t.free_at.(c) +. cpu_each))
+        0.0 members
+    in
+    let finish =
+      if io_ns > 0.0 then begin
+        let dev_start = Float.max ready t.device_free in
+        let dev_end = dev_start +. io_ns in
+        t.device_free <- dev_end;
+        dev_end
+      end
+      else ready
+    in
+    let finish = finish +. stall_ns in
+    List.iter
+      (fun c ->
+        t.wait_ns.(c) <-
+          t.wait_ns.(c) +. (finish -. (t.free_at.(c) +. cpu_each));
+        t.free_at.(c) <- finish)
+      members;
+    t.ops_placed <- t.ops_placed + List.length members;
+    t.groups_placed <- t.groups_placed + 1

@@ -12,14 +12,15 @@ module Builder = struct
   type t = {
     buf : Buffer.t;
     mutable restarts : int list; (* reversed *)
+    mutable num_restarts : int; (* length of [restarts] *)
     mutable counter : int;
     mutable last_key : string;
     mutable entries : int;
   }
 
   let create () =
-    { buf = Buffer.create 4096; restarts = [ 0 ]; counter = 0;
-      last_key = ""; entries = 0 }
+    { buf = Buffer.create 4096; restarts = [ 0 ]; num_restarts = 1;
+      counter = 0; last_key = ""; entries = 0 }
 
   let shared_prefix_len a b =
     let n = min (String.length a) (String.length b) in
@@ -36,6 +37,7 @@ module Builder = struct
       if t.counter < restart_interval then shared_prefix_len t.last_key key
       else begin
         t.restarts <- Buffer.length t.buf :: t.restarts;
+        t.num_restarts <- t.num_restarts + 1;
         t.counter <- 0;
         0
       end
@@ -51,7 +53,7 @@ module Builder = struct
     t.entries <- t.entries + 1
 
   let current_size_estimate t =
-    Buffer.length t.buf + (4 * List.length t.restarts) + 4
+    Buffer.length t.buf + (4 * t.num_restarts) + 4
 
   let is_empty t = t.entries = 0
 
@@ -59,12 +61,13 @@ module Builder = struct
   let finish t =
     let restarts = List.rev t.restarts in
     List.iter (fun off -> Pdb_util.Varint.put_fixed32 t.buf off) restarts;
-    Pdb_util.Varint.put_fixed32 t.buf (List.length restarts);
+    Pdb_util.Varint.put_fixed32 t.buf t.num_restarts;
     Buffer.contents t.buf
 
   let reset t =
     Buffer.clear t.buf;
     t.restarts <- [ 0 ];
+    t.num_restarts <- 1;
     t.counter <- 0;
     t.last_key <- "";
     t.entries <- 0

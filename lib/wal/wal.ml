@@ -33,8 +33,7 @@ module Writer = struct
   let of_writer writer ~existing_bytes =
     { writer; block_offset = existing_bytes mod block_size }
 
-  let emit t rtype fragment =
-    let buf = Buffer.create (header_size + String.length fragment) in
+  let emit t buf rtype fragment =
     let body =
       let b = Buffer.create (1 + String.length fragment) in
       Buffer.add_char b (Char.chr (type_to_int rtype));
@@ -47,12 +46,11 @@ module Writer = struct
     Buffer.add_char buf (Char.chr ((String.length fragment lsr 8) land 0xff));
     Buffer.add_char buf (Char.chr (type_to_int rtype));
     Buffer.add_string buf fragment;
-    Pdb_simio.Env.append t.writer (Buffer.contents buf);
     t.block_offset <- t.block_offset + header_size + String.length fragment
 
-  (** [add_record t payload] appends one logical record, fragmenting across
-      block boundaries as needed. *)
-  let add_record t payload =
+  (* Frame one logical record into [buf], fragmenting across block
+     boundaries as needed. *)
+  let emit_record t buf payload =
     let len = String.length payload in
     let pos = ref 0 in
     let first = ref true in
@@ -62,7 +60,7 @@ module Writer = struct
       if leftover < header_size then begin
         (* pad the block tail with zeroes *)
         if leftover > 0 then begin
-          Pdb_simio.Env.append t.writer (String.make leftover '\000');
+          Buffer.add_string buf (String.make leftover '\000');
           t.block_offset <- t.block_offset + leftover
         end;
         t.block_offset <- 0
@@ -78,13 +76,32 @@ module Writer = struct
           | false, true -> Last
           | false, false -> Middle
         in
-        emit t rtype (String.sub payload !pos fragment_len);
+        emit t buf rtype (String.sub payload !pos fragment_len);
         if t.block_offset >= block_size then t.block_offset <- 0;
         pos := !pos + fragment_len;
         first := false;
         if is_last then continue := false
       end
     done
+
+  (** [add_record t payload] appends one logical record, fragmenting across
+      block boundaries as needed. *)
+  let add_record t payload =
+    let buf = Buffer.create (header_size + String.length payload) in
+    emit_record t buf payload;
+    Pdb_simio.Env.append t.writer (Buffer.contents buf)
+
+  (** [add_records t payloads] appends the records in order as one device
+      write — the group-commit leader's coalesced WAL append.  The file
+      bytes are exactly those of [List.iter (add_record t) payloads];
+      only the device-op accounting (one write instead of N) differs. *)
+  let add_records t payloads =
+    match payloads with
+    | [] -> ()
+    | payloads ->
+      let buf = Buffer.create 4096 in
+      List.iter (emit_record t buf) payloads;
+      Pdb_simio.Env.append t.writer (Buffer.contents buf)
 
   let sync t = Pdb_simio.Env.sync t.writer
   let close t = Pdb_simio.Env.close t.writer

@@ -28,6 +28,12 @@ module Writer : sig
       across block boundaries as needed. *)
   val add_record : t -> string -> unit
 
+  (** [add_records t payloads] appends the records in order as a single
+      device write — the group-commit leader's coalesced WAL append.
+      File bytes are exactly those of [List.iter (add_record t)
+      payloads]; only the device-op accounting differs. *)
+  val add_records : t -> string list -> unit
+
   val sync : t -> unit
   val close : t -> unit
   val size : t -> int

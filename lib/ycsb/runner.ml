@@ -32,6 +32,11 @@ type result = {
   inserts : int;
   scans : int;
   rmws : int;
+  (* foreground-concurrency fields; 1 / zero for the serial path *)
+  clients : int;
+  write_groups : int;
+  avg_group_size : float;
+  syncs_saved : int;
 }
 
 let make_value rng n = Pdb_util.Rng.alpha rng n
@@ -62,22 +67,78 @@ let measure (store : Dyn.dyn) name f =
     inserts;
     scans;
     rmws;
+    clients = 1;
+    write_groups = 0;
+    avg_group_size = 0.0;
+    syncs_saved = 0;
   }
 
-(** [load store ~records ~value_bytes ~seed] is the YCSB load phase:
-    insert [records] fresh records. *)
-let load (store : Dyn.dyn) ~records ~value_bytes ~seed =
-  let rng = Pdb_util.Rng.create seed in
-  measure store "load" (fun () ->
-      for n = 0 to records - 1 do
-        store.Dyn.d_put (key_of_record n) (make_value rng value_bytes)
-      done;
-      (records, 0, 0, records, 0, 0))
+(* Measure a phase driven through the multi-client executor: ops
+   interleave round-robin across [clients] foreground lanes and writes
+   group-commit; elapsed comes from the lane placement. *)
+let measure_clients (store : Dyn.dyn) name ~clients ops
+    ~counts:(nops, reads, updates, inserts, scans, rmws) =
+  let io0 = Pdb_simio.Io_stats.snapshot (Pdb_simio.Env.stats store.Dyn.d_env) in
+  let r = Pdb_kvs.Multi_client.run store ~clients ops in
+  let io1 = Pdb_simio.Io_stats.snapshot (Pdb_simio.Env.stats store.Dyn.d_env) in
+  let io = Pdb_simio.Io_stats.diff io1 io0 in
+  {
+    phase = name;
+    ops = nops;
+    elapsed_ns = r.Pdb_kvs.Multi_client.elapsed_ns;
+    kops_per_s =
+      (if r.Pdb_kvs.Multi_client.elapsed_ns <= 0.0 then 0.0
+       else
+         float_of_int nops
+         /. (r.Pdb_kvs.Multi_client.elapsed_ns /. 1e9)
+         /. 1000.0);
+    bytes_written = io.Pdb_simio.Io_stats.bytes_written;
+    bytes_read = io.Pdb_simio.Io_stats.bytes_read;
+    reads;
+    updates;
+    inserts;
+    scans;
+    rmws;
+    clients = r.Pdb_kvs.Multi_client.clients;
+    write_groups = r.Pdb_kvs.Multi_client.write_groups;
+    avg_group_size = r.Pdb_kvs.Multi_client.avg_group_size;
+    syncs_saved = r.Pdb_kvs.Multi_client.syncs_saved;
+  }
 
-(** [run store spec ~records ~operations ~value_bytes ~seed] executes the
-    transaction phase of [spec] against a store already loaded with
-    [records] records. *)
-let run (store : Dyn.dyn) (spec : Workload.spec) ~records ~operations
+let put_op key value =
+  let b = Pdb_kvs.Write_batch.create () in
+  Pdb_kvs.Write_batch.put b key value;
+  Pdb_kvs.Multi_client.Write b
+
+(** [load ?clients store ~records ~value_bytes ~seed] is the YCSB load
+    phase: insert [records] fresh records.  With [~clients:n] the
+    inserts interleave round-robin across [n] client lanes and commit in
+    groups; the values (and hence the store's final state) are the same
+    at any client count. *)
+let load ?clients (store : Dyn.dyn) ~records ~value_bytes ~seed =
+  let rng = Pdb_util.Rng.create seed in
+  match clients with
+  | None ->
+    measure store "load" (fun () ->
+        for n = 0 to records - 1 do
+          store.Dyn.d_put (key_of_record n) (make_value rng value_bytes)
+        done;
+        (records, 0, 0, records, 0, 0))
+  | Some clients ->
+    let ops = ref [] in
+    for n = 0 to records - 1 do
+      ops := put_op (key_of_record n) (make_value rng value_bytes) :: !ops
+    done;
+    measure_clients store "load" ~clients (List.rev !ops)
+      ~counts:(records, 0, 0, records, 0, 0)
+
+(** [run ?clients store spec ~records ~operations ~value_bytes ~seed]
+    executes the transaction phase of [spec] against a store already
+    loaded with [records] records.  With [~clients:n] the ops interleave
+    round-robin across [n] client lanes (writes group-commit); the drawn
+    op sequence — and the store's final state — is the same at any
+    client count. *)
+let run ?clients (store : Dyn.dyn) (spec : Workload.spec) ~records ~operations
     ~value_bytes ~seed =
   let rng = Pdb_util.Rng.create (seed + 17) in
   let dist =
@@ -92,40 +153,85 @@ let run (store : Dyn.dyn) (spec : Workload.spec) ~records ~operations
   and inserts = ref 0
   and scans = ref 0
   and rmws = ref 0 in
-  measure store ("run-" ^ spec.Workload.name) (fun () ->
-      for _ = 1 to operations do
-        match Workload.draw_op spec rng with
-        | Workload.Read ->
-          incr reads;
-          ignore (store.Dyn.d_get (key_of_record (Pdb_util.Dist.next dist)))
-        | Workload.Update ->
-          incr updates;
-          store.Dyn.d_put
-            (key_of_record (Pdb_util.Dist.next dist))
-            (make_value rng value_bytes)
-        | Workload.Insert ->
-          incr inserts;
-          let n = !record_count in
-          incr record_count;
-          store.Dyn.d_put (key_of_record n) (make_value rng value_bytes);
-          Pdb_util.Dist.set_item_count dist !record_count
-        | Workload.Scan ->
-          incr scans;
-          let start = Pdb_util.Dist.next dist in
-          let len = 1 + Pdb_util.Rng.int rng spec.Workload.max_scan_len in
-          let it = store.Dyn.d_iterator () in
-          it.Iter.seek (key_of_record start);
-          let steps = ref 0 in
-          while it.Iter.valid () && !steps < len do
-            ignore (it.Iter.key ());
-            ignore (it.Iter.value ());
-            it.Iter.next ();
-            incr steps
-          done
-        | Workload.Read_modify_write ->
-          incr rmws;
-          let n = Pdb_util.Dist.next dist in
-          ignore (store.Dyn.d_get (key_of_record n));
-          store.Dyn.d_put (key_of_record n) (make_value rng value_bytes)
-      done;
-      (operations, !reads, !updates, !inserts, !scans, !rmws))
+  let scan_op start len =
+    let it = store.Dyn.d_iterator () in
+    it.Iter.seek (key_of_record start);
+    let steps = ref 0 in
+    while it.Iter.valid () && !steps < len do
+      ignore (it.Iter.key ());
+      ignore (it.Iter.value ());
+      it.Iter.next ();
+      incr steps
+    done
+  in
+  match clients with
+  | None ->
+    measure store ("run-" ^ spec.Workload.name) (fun () ->
+        for _ = 1 to operations do
+          match Workload.draw_op spec rng with
+          | Workload.Read ->
+            incr reads;
+            ignore (store.Dyn.d_get (key_of_record (Pdb_util.Dist.next dist)))
+          | Workload.Update ->
+            incr updates;
+            store.Dyn.d_put
+              (key_of_record (Pdb_util.Dist.next dist))
+              (make_value rng value_bytes)
+          | Workload.Insert ->
+            incr inserts;
+            let n = !record_count in
+            incr record_count;
+            store.Dyn.d_put (key_of_record n) (make_value rng value_bytes);
+            Pdb_util.Dist.set_item_count dist !record_count
+          | Workload.Scan ->
+            incr scans;
+            let start = Pdb_util.Dist.next dist in
+            let len = 1 + Pdb_util.Rng.int rng spec.Workload.max_scan_len in
+            scan_op start len
+          | Workload.Read_modify_write ->
+            incr rmws;
+            let n = Pdb_util.Dist.next dist in
+            ignore (store.Dyn.d_get (key_of_record n));
+            store.Dyn.d_put (key_of_record n) (make_value rng value_bytes)
+        done;
+        (operations, !reads, !updates, !inserts, !scans, !rmws))
+  | Some clients ->
+    (* draw the whole op sequence first (rng/dist state advances exactly
+       as in the serial path), then replay it across the client lanes *)
+    let ops = ref [] in
+    let push op = ops := op :: !ops in
+    for _ = 1 to operations do
+      match Workload.draw_op spec rng with
+      | Workload.Read ->
+        incr reads;
+        let key = key_of_record (Pdb_util.Dist.next dist) in
+        push (Pdb_kvs.Multi_client.Other (fun () -> ignore (store.Dyn.d_get key)))
+      | Workload.Update ->
+        incr updates;
+        let key = key_of_record (Pdb_util.Dist.next dist) in
+        push (put_op key (make_value rng value_bytes))
+      | Workload.Insert ->
+        incr inserts;
+        let n = !record_count in
+        incr record_count;
+        push (put_op (key_of_record n) (make_value rng value_bytes));
+        Pdb_util.Dist.set_item_count dist !record_count
+      | Workload.Scan ->
+        incr scans;
+        let start = Pdb_util.Dist.next dist in
+        let len = 1 + Pdb_util.Rng.int rng spec.Workload.max_scan_len in
+        push (Pdb_kvs.Multi_client.Other (fun () -> scan_op start len))
+      | Workload.Read_modify_write ->
+        incr rmws;
+        let key = key_of_record (Pdb_util.Dist.next dist) in
+        let value = make_value rng value_bytes in
+        push
+          (Pdb_kvs.Multi_client.Other
+             (fun () ->
+               ignore (store.Dyn.d_get key);
+               store.Dyn.d_put key value))
+    done;
+    measure_clients store
+      ("run-" ^ spec.Workload.name)
+      ~clients (List.rev !ops)
+      ~counts:(operations, !reads, !updates, !inserts, !scans, !rmws)
