@@ -7,6 +7,8 @@
 open Cmdliner
 module Dyn = Pdb_kvs.Store_intf
 module B = Pdb_harness.Bench_util
+module L = Pdb_kvs.Latency
+module Env = Pdb_simio.Env
 
 let engine_of_string = function
   | "pebblesdb" -> Ok Pdb_harness.Stores.Pebblesdb
@@ -18,13 +20,17 @@ let engine_of_string = function
   | "wiredtiger" -> Ok Pdb_harness.Stores.Wiredtiger
   | s -> Error (Printf.sprintf "unknown store %S" s)
 
-let run store_name benchmarks num value_size seed clients =
+let run store_name benchmarks num value_size seed clients trace_file =
   match engine_of_string store_name with
   | Error msg ->
     prerr_endline msg;
     exit 1
   | Ok engine ->
-    let store = Pdb_harness.Stores.open_engine engine in
+    let env = Env.create () in
+    (match trace_file with
+     | Some _ -> Env.set_tracer env (Pdb_simio.Trace.create ())
+     | None -> ());
+    let store = Pdb_harness.Stores.open_engine ~env engine in
     let report name (p : B.phase) =
       Printf.printf "%-14s : %8.1f KOps/s  (%d ops, %.1f MB written, %.1f MB read)\n%!"
         name p.B.kops p.B.ops (B.mb p.B.bytes_written) (B.mb p.B.bytes_read)
@@ -48,22 +54,28 @@ let run store_name benchmarks num value_size seed clients =
     in
     List.iter
       (fun bench ->
-        match bench with
-        | "fillseq" -> report bench (B.fill_seq store ~n:num ~value_bytes:value_size ~seed)
+        (* per-benchmark latency histograms: serial phases run through an
+           instrumented store (clock-snapshot deltas); multi-client phases
+           collect the lane-placement latencies.  Purely observational —
+           store state is byte-identical with reporting off. *)
+        let lat = L.create () in
+        let timed = L.instrument lat store in
+        (match bench with
+        | "fillseq" -> report bench (B.fill_seq timed ~n:num ~value_bytes:value_size ~seed)
         | "fillrandom" when clients > 1 ->
           ran_fill := true;
           report_mc bench
-            (B.mc_fill_random store ~clients ~n:num ~value_bytes:value_size
-               ~seed)
+            (B.mc_fill_random ~latency:lat store ~clients ~n:num
+               ~value_bytes:value_size ~seed)
         | "fillrandom" ->
           ran_fill := true;
-          report bench (B.fill_random store ~n:num ~value_bytes:value_size ~seed)
+          report bench (B.fill_random timed ~n:num ~value_bytes:value_size ~seed)
         | "fillbatch" ->
           (* batched writes: 100 entries per atomic batch *)
           ran_fill := true;
           let rng = Pdb_util.Rng.create seed in
           report bench
-            (B.measure store num (fun () ->
+            (B.measure timed num (fun () ->
                  let i = ref 0 in
                  while !i < num do
                    let batch = Pdb_kvs.Write_batch.create () in
@@ -73,32 +85,33 @@ let run store_name benchmarks num value_size seed clients =
                        (Pdb_util.Rng.alpha rng value_size);
                      incr i
                    done;
-                   store.Dyn.d_write batch
+                   timed.Dyn.d_write batch
                  done))
         | "overwrite" when clients > 1 ->
           report_mc bench
-            (B.mc_fill_random store ~clients ~n:num ~value_bytes:value_size
-               ~seed)
+            (B.mc_fill_random ~latency:lat store ~clients ~n:num
+               ~value_bytes:value_size ~seed)
         | "overwrite" ->
-          report bench (B.update_random store ~n:num ~value_bytes:value_size ~seed)
+          report bench (B.update_random timed ~n:num ~value_bytes:value_size ~seed)
         | "readrandom" when clients > 1 ->
           ensure_fill ();
-          report_mc bench (B.mc_read_random store ~clients ~n:num ~ops:num ~seed)
+          report_mc bench
+            (B.mc_read_random ~latency:lat store ~clients ~n:num ~ops:num ~seed)
         | "readrandom" ->
           ensure_fill ();
-          report bench (B.read_random store ~n:num ~ops:num ~seed)
+          report bench (B.read_random timed ~n:num ~ops:num ~seed)
         | "mixed" ->
           (* 50% reads / 50% overwrites through the client lanes *)
           ensure_fill ();
           report_mc bench
-            (B.mc_mixed store ~clients:(max 1 clients) ~n:num ~ops:num
-               ~value_bytes:value_size ~seed)
+            (B.mc_mixed ~latency:lat store ~clients:(max 1 clients) ~n:num
+               ~ops:num ~value_bytes:value_size ~seed)
         | "readseq" ->
           (* full forward scan via one iterator *)
           ensure_fill ();
           report bench
-            (B.measure store num (fun () ->
-                 let it = store.Dyn.d_iterator () in
+            (B.measure timed num (fun () ->
+                 let it = timed.Dyn.d_iterator () in
                  it.Pdb_kvs.Iter.seek_to_first ();
                  while it.Pdb_kvs.Iter.valid () do
                    ignore (it.Pdb_kvs.Iter.key ());
@@ -109,10 +122,10 @@ let run store_name benchmarks num value_size seed clients =
           ensure_fill ();
           let rng = Pdb_util.Rng.create (seed + 21) in
           report bench
-            (B.measure store num (fun () ->
+            (B.measure timed num (fun () ->
                  for _ = 1 to num do
                    ignore
-                     (store.Dyn.d_get
+                     (timed.Dyn.d_get
                         (Printf.sprintf "missing%010d" (Pdb_util.Rng.int rng num)))
                  done))
         | "readhot" ->
@@ -121,24 +134,24 @@ let run store_name benchmarks num value_size seed clients =
           let hot = max 1 (num / 100) in
           let rng = Pdb_util.Rng.create (seed + 22) in
           report bench
-            (B.measure store num (fun () ->
+            (B.measure timed num (fun () ->
                  for _ = 1 to num do
-                   ignore (store.Dyn.d_get (B.key_of (Pdb_util.Rng.int rng hot)))
+                   ignore (timed.Dyn.d_get (B.key_of (Pdb_util.Rng.int rng hot)))
                  done))
         | "seekrandom" ->
           ensure_fill ();
-          report bench (B.seek_random store ~n:num ~ops:(num / 4) ~nexts:0 ~seed)
+          report bench (B.seek_random timed ~n:num ~ops:(num / 4) ~nexts:0 ~seed)
         | "seekordered" ->
           (* seeks at ascending positions (locality-friendly) *)
           ensure_fill ();
           let ops = num / 4 in
           report bench
-            (B.measure store ops (fun () ->
+            (B.measure timed ops (fun () ->
                  for i = 0 to ops - 1 do
-                   let it = store.Dyn.d_iterator () in
+                   let it = timed.Dyn.d_iterator () in
                    it.Pdb_kvs.Iter.seek (B.key_of (i * (num / max 1 ops)))
                  done))
-        | "deleterandom" -> report bench (B.delete_random store ~n:num ~seed)
+        | "deleterandom" -> report bench (B.delete_random timed ~n:num ~seed)
         | "compact" ->
           store.Dyn.d_compact_all ();
           Printf.printf "%-14s : done\n%!" bench
@@ -148,13 +161,24 @@ let run store_name benchmarks num value_size seed clients =
           (match B.scheduler_summary store with
            | "" -> ()
            | s -> Printf.printf "  compaction: %s\n%!" s)
-        | other -> Printf.printf "unknown benchmark %S (skipped)\n%!" other)
+        | other -> Printf.printf "unknown benchmark %S (skipped)\n%!" other);
+        L.print_summary ~indent:"               " lat)
       benchmarks;
     Printf.printf "final write amplification: %.2f\n" (B.write_amp store);
     (match B.scheduler_summary store with
      | "" -> ()
      | s -> Printf.printf "compaction scheduler: %s\n" s);
-    store.Dyn.d_close ()
+    store.Dyn.d_close ();
+    match (trace_file, Env.tracer env) with
+    | Some path, Some tr ->
+      let oc = open_out path in
+      output_string oc (Pdb_simio.Trace.to_chrome_json tr);
+      close_out oc;
+      Printf.printf "trace: %d events (%d dropped) -> %s\n"
+        (Pdb_simio.Trace.count tr)
+        (Pdb_simio.Trace.dropped tr)
+        path
+    | _ -> ()
 
 let store_arg =
   Arg.(value & opt string "pebblesdb"
@@ -184,10 +208,17 @@ let clients_arg =
                  readrandom / mixed (round-robin interleave, WAL group \
                  commit); 1 = serial.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON of compaction / flush / \
+                 WAL / stall activity to $(docv) (load in Perfetto or \
+                 chrome://tracing).")
+
 let cmd =
   Cmd.v
     (Cmd.info "db_bench" ~doc:"Micro-benchmarks over the simulated stores")
     Term.(const run $ store_arg $ benchmarks_arg $ num_arg $ value_size_arg
-          $ seed_arg $ clients_arg)
+          $ seed_arg $ clients_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -5,6 +5,8 @@
 
 open Cmdliner
 module Dyn = Pdb_kvs.Store_intf
+module L = Pdb_kvs.Latency
+module Env = Pdb_simio.Env
 
 let engine_of_string = function
   | "pebblesdb" -> Some Pdb_harness.Stores.Pebblesdb
@@ -14,13 +16,17 @@ let engine_of_string = function
   | "wiredtiger" -> Some Pdb_harness.Stores.Wiredtiger
   | _ -> None
 
-let run store_name workloads records ops value_size clients =
+let run store_name workloads records ops value_size clients trace_file =
   match engine_of_string store_name with
   | None ->
     prerr_endline ("unknown store " ^ store_name);
     exit 1
   | Some engine ->
-    let store = Pdb_harness.Stores.open_engine engine in
+    let env = Env.create () in
+    (match trace_file with
+     | Some _ -> Env.set_tracer env (Pdb_simio.Trace.create ())
+     | None -> ());
+    let store = Pdb_harness.Stores.open_engine ~env engine in
     (* clients=0 keeps the legacy serial measurement path *)
     let clients = if clients <= 0 then None else Some clients in
     let report (r : Pdb_ycsb.Runner.result) =
@@ -38,19 +44,35 @@ let run store_name workloads records ops value_size clients =
           r.Pdb_ycsb.Runner.clients r.Pdb_ycsb.Runner.write_groups
           r.Pdb_ycsb.Runner.avg_group_size r.Pdb_ycsb.Runner.syncs_saved
     in
+    (* one latency collector per phase; reporting is purely
+       observational — store state matches a run without it *)
+    let lat = L.create () in
     report
-      (Pdb_ycsb.Runner.load ?clients store ~records ~value_bytes:value_size
-         ~seed:42);
+      (Pdb_ycsb.Runner.load ?clients ~latency:lat store ~records
+         ~value_bytes:value_size ~seed:42);
+    L.print_summary ~indent:"           " lat;
     List.iter
       (fun name ->
         match Pdb_ycsb.Workload.by_name name with
         | Some spec ->
+          let lat = L.create () in
           report
-            (Pdb_ycsb.Runner.run ?clients store spec ~records ~operations:ops
-               ~value_bytes:value_size ~seed:42)
+            (Pdb_ycsb.Runner.run ?clients ~latency:lat store spec ~records
+               ~operations:ops ~value_bytes:value_size ~seed:42);
+          L.print_summary ~indent:"           " lat
         | None -> Printf.printf "unknown workload %S (skipped)\n%!" name)
       workloads;
-    store.Dyn.d_close ()
+    store.Dyn.d_close ();
+    match (trace_file, Env.tracer env) with
+    | Some path, Some tr ->
+      let oc = open_out path in
+      output_string oc (Pdb_simio.Trace.to_chrome_json tr);
+      close_out oc;
+      Printf.printf "trace: %d events (%d dropped) -> %s\n"
+        (Pdb_simio.Trace.count tr)
+        (Pdb_simio.Trace.dropped tr)
+        path
+    | _ -> ()
 
 let store_arg =
   Arg.(value & opt string "pebblesdb" & info [ "store" ] ~docv:"STORE")
@@ -74,9 +96,16 @@ let clients_arg =
            ~doc:"Foreground client lanes (round-robin, WAL group commit); \
                  0 = legacy serial measurement.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON of compaction / flush / \
+                 WAL / stall activity to $(docv) (load in Perfetto or \
+                 chrome://tracing).")
+
 let cmd =
   Cmd.v (Cmd.info "ycsb" ~doc:"YCSB benchmark over the simulated stores")
     Term.(const run $ store_arg $ workloads_arg $ records_arg $ ops_arg
-          $ value_size_arg $ clients_arg)
+          $ value_size_arg $ clients_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

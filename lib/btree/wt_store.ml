@@ -110,12 +110,20 @@ let write_group t batches =
   match batches with
   | [] -> ()
   | batches ->
+    (* batches still riding on the end-of-group sync; a mid-group
+       checkpoint makes everything so far durable in the tree pages and
+       rotates the journal, so it resets the count — crediting [n - 1]
+       unconditionally would overcount elided syncs *)
+    let covered = ref 0 in
     List.iter
       (fun batch ->
         Pdb_wal.Wal.Writer.add_record t.journal
           (Pdb_kvs.Write_batch.encode batch ~base_seq:0);
         Bptree.write t.tree batch;
-        maybe_checkpoint t)
+        incr covered;
+        let before = t.journal_number in
+        maybe_checkpoint t;
+        if t.journal_number <> before then covered := 0)
       batches;
     (* without the sync, an acked write is lost whenever a crash beats
        the next checkpoint *)
@@ -128,7 +136,7 @@ let write_group t batches =
       st.Pdb_kvs.Engine_stats.write_group_batches + n;
     if t.opts.O.wal_sync_writes then
       st.Pdb_kvs.Engine_stats.group_syncs_saved <-
-        st.Pdb_kvs.Engine_stats.group_syncs_saved + (n - 1)
+        st.Pdb_kvs.Engine_stats.group_syncs_saved + max 0 (!covered - 1)
 
 let write t batch = write_group t [ batch ]
 

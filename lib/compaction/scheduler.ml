@@ -29,6 +29,7 @@ type stats = {
 type t = {
   clock : Clock.t;
   lanes : Sched.t;
+  env : Pdb_simio.Env.t option;  (** for the environment's tracer, if any *)
   queue : Job.t Queue.t;
   keys : (string, unit) Hashtbl.t; (* pending-job identity, for dedup *)
   mutable backlog_bytes : int;
@@ -36,10 +37,11 @@ type t = {
   mutable observer : (Job.t -> unit) option;
 }
 
-let create ~clock ~workers =
+let create ?env ~clock ~workers () =
   {
     clock;
     lanes = Sched.create ~clock ~workers;
+    env;
     queue = Queue.create ();
     keys = Hashtbl.create 16;
     backlog_bytes = 0;
@@ -53,6 +55,9 @@ let create ~clock ~workers =
       };
     observer = None;
   }
+
+let tracer t =
+  match t.env with None -> None | Some env -> Pdb_simio.Env.tracer env
 
 let workers t = Sched.workers t.lanes
 let pending t = Queue.length t.queue
@@ -85,8 +90,24 @@ let run_one t (job : Job.t) =
   Clock.with_background t.clock job.run;
   let duration_ns = t.clock.Clock.background_ns -. before in
   (* zero-cost jobs (e.g. trivial pointer moves) occupy no lane time *)
-  if duration_ns > 0.0 then
-    ignore (Sched.place t.lanes job.footprint ~duration_ns);
+  if duration_ns > 0.0 then begin
+    let p = Sched.place_span t.lanes job.footprint ~duration_ns in
+    match tracer t with
+    | Some tr ->
+      Pdb_simio.Trace.span tr
+        ~name:(Job.trigger_name job.trigger)
+        ~cat:"compaction"
+        ~lane:(Printf.sprintf "worker-%d" p.Sched.lane)
+        ~start_ns:p.Sched.start_ns
+        ~dur_ns:(p.Sched.finish_ns -. p.Sched.start_ns)
+        ~args:
+          [
+            ("key", job.key);
+            ("bytes", string_of_int job.estimated_bytes);
+          ]
+        ()
+    | None -> ()
+  end;
   t.stats.jobs_run <- t.stats.jobs_run + 1;
   match t.observer with Some f -> f job | None -> ()
 
@@ -107,6 +128,15 @@ let run_now t job = run_one t job
 (** [note_stall t kind ns] records write-stall time already charged to
     the clock, attributing it to the slowdown or stop threshold. *)
 let note_stall t kind ns =
-  match kind with
-  | `Slowdown -> t.stats.stall_slowdown_ns <- t.stats.stall_slowdown_ns +. ns
-  | `Stop -> t.stats.stall_stop_ns <- t.stats.stall_stop_ns +. ns
+  (match kind with
+   | `Slowdown -> t.stats.stall_slowdown_ns <- t.stats.stall_slowdown_ns +. ns
+   | `Stop -> t.stats.stall_stop_ns <- t.stats.stall_stop_ns +. ns);
+  match tracer t with
+  | Some tr ->
+    let now = Clock.elapsed_ns (Clock.snapshot t.clock) in
+    Pdb_simio.Trace.span tr
+      ~name:(match kind with `Slowdown -> "stall:slowdown" | `Stop -> "stall:stop")
+      ~cat:"stall" ~lane:"foreground"
+      ~start_ns:(Float.max 0.0 (now -. ns))
+      ~dur_ns:ns ()
+  | None -> ()

@@ -76,9 +76,25 @@ let user_range_overlap (m : Table.meta) key =
    operation after the last snapshot is released. *)
 let gc_obsolete t =
   if Pdb_kvs.Snapshots.is_empty t.snapshots then begin
-    List.iter (fun name -> Env.delete t.env name) t.obsolete;
+    List.iter
+      (fun name ->
+        (* drop the dead file's decoded blocks with it: they can never
+           hit again and would squat in the shared LRU *)
+        Pdb_sstable.Block_cache.evict_file t.block_cache ~file:name;
+        Env.delete t.env name)
+      t.obsolete;
     t.obsolete <- []
   end
+
+(* Foreground trace instants (WAL rotations, group commits), stamped at
+   the clock's current modeled time; no-ops without an attached tracer. *)
+let trace_instant t ?(args = []) ~name ~cat () =
+  match Env.tracer t.env with
+  | Some tr ->
+    Pdb_simio.Trace.instant tr ~args ~name ~cat ~lane:"foreground"
+      ~ts_ns:(Clock.elapsed_ns (Clock.snapshot t.clock))
+      ()
+  | None -> ()
 
 (* ---------- guard selection (§3.2) ---------- *)
 
@@ -152,6 +168,12 @@ let rec flush_memtable t =
      | None -> ());
     Manifest.append t.manifest e;
     Env.delete t.env (log_name t.dir old_log);
+    trace_instant t ~name:"wal-rotate" ~cat:"wal"
+      ~args:
+        [
+          ("old", string_of_int old_log); ("new", string_of_int new_log);
+        ]
+      ();
     maybe_compact t
   end
 
@@ -978,8 +1000,8 @@ let open_store (opts : O.t) ~env ~dir =
       dir;
       clock = Env.clock env;
       sched =
-        Scheduler.create ~clock:(Env.clock env)
-          ~workers:opts.O.compaction_threads;
+        Scheduler.create ~env ~clock:(Env.clock env)
+          ~workers:opts.O.compaction_threads ();
       stats = Stats.create ();
       table_cache =
         Pdb_sstable.Table_cache.create env ~dir
@@ -1048,6 +1070,8 @@ let stats t =
   st.Stats.compaction_queue_peak <- s.Scheduler.queue_peak;
   st.Stats.compaction_backlog_peak_bytes <- s.Scheduler.backlog_peak_bytes;
   st.Stats.compaction_serialized_jobs <- Scheduler.serialized_jobs t.sched;
+  st.Stats.compaction_pending <- Scheduler.pending t.sched;
+  st.Stats.compaction_backlog_bytes <- Scheduler.backlog_bytes t.sched;
   st.Stats.stall_slowdown_ns <- s.Scheduler.stall_slowdown_ns;
   st.Stats.stall_stop_ns <- s.Scheduler.stall_stop_ns;
   st.Stats.worker_busy_ns <- Scheduler.busy_ns t.sched;
@@ -1117,7 +1141,13 @@ let write_group t batches =
       sync_writes = t.opts.O.wal_sync_writes;
       stats = t.stats;
     }
-    batches
+    batches;
+  (match batches with
+   | [] -> ()
+   | _ ->
+     trace_instant t ~name:"group-commit" ~cat:"wal"
+       ~args:[ ("batches", string_of_int (List.length batches)) ]
+       ())
 
 let write t batch = write_group t [ batch ]
 

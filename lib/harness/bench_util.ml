@@ -119,9 +119,9 @@ module Mc = Pdb_kvs.Multi_client
 (** [mc_run store ~clients ops] drives [ops] through the multi-client
     executor and reports both the phase (throughput, IO) and the
     executor's group-commit result. *)
-let mc_run (store : Dyn.dyn) ~clients ops =
+let mc_run ?latency (store : Dyn.dyn) ~clients ops =
   let io0 = Pdb_simio.Io_stats.snapshot (Env.stats store.Dyn.d_env) in
-  let r = Mc.run store ~clients ops in
+  let r = Mc.run ?latency store ~clients ops in
   let io1 = Pdb_simio.Io_stats.snapshot (Env.stats store.Dyn.d_env) in
   let io = Pdb_simio.Io_stats.diff io1 io0 in
   let elapsed = r.Mc.elapsed_ns in
@@ -143,7 +143,7 @@ let put_op key value =
 
 (** [mc_fill_random] — the write-only multithreaded workload: [n] puts in
     random key order across [clients] lanes. *)
-let mc_fill_random (store : Dyn.dyn) ~clients ~n ~value_bytes ~seed =
+let mc_fill_random ?latency (store : Dyn.dyn) ~clients ~n ~value_bytes ~seed =
   let rng = Pdb_util.Rng.create seed in
   let perm = Array.init n Fun.id in
   Pdb_util.Rng.shuffle rng perm;
@@ -151,35 +151,35 @@ let mc_fill_random (store : Dyn.dyn) ~clients ~n ~value_bytes ~seed =
     Array.to_list
       (Array.map (fun i -> put_op (key_of i) (value_of rng value_bytes)) perm)
   in
-  mc_run store ~clients ops
+  mc_run ?latency store ~clients ops
 
 (** [mc_read_random] — the read-only multithreaded workload: [ops] point
     lookups across [clients] lanes. *)
-let mc_read_random (store : Dyn.dyn) ~clients ~n ~ops ~seed =
+let mc_read_random ?latency (store : Dyn.dyn) ~clients ~n ~ops ~seed =
   let rng = Pdb_util.Rng.create (seed + 1) in
   let acc = ref [] in
   for _ = 1 to ops do
     let key = key_of (Pdb_util.Rng.int rng n) in
-    acc := Mc.Other (fun () -> ignore (store.Dyn.d_get key)) :: !acc
+    acc := Mc.Read (fun () -> ignore (store.Dyn.d_get key)) :: !acc
   done;
-  mc_run store ~clients (List.rev !acc)
+  mc_run ?latency store ~clients (List.rev !acc)
 
 (** [mc_mixed] — the mixed multithreaded workload: 50% reads / 50%
     overwrites, uniform over the [n]-key space. *)
-let mc_mixed (store : Dyn.dyn) ~clients ~n ~ops ~value_bytes ~seed =
+let mc_mixed ?latency (store : Dyn.dyn) ~clients ~n ~ops ~value_bytes ~seed =
   let rng = Pdb_util.Rng.create (seed + 2) in
   let acc = ref [] in
   for _ = 1 to ops do
     let op =
       if Pdb_util.Rng.int rng 2 = 0 then begin
         let key = key_of (Pdb_util.Rng.int rng n) in
-        Mc.Other (fun () -> ignore (store.Dyn.d_get key))
+        Mc.Read (fun () -> ignore (store.Dyn.d_get key))
       end
       else put_op (key_of (Pdb_util.Rng.int rng n)) (value_of rng value_bytes)
     in
     acc := op :: !acc
   done;
-  mc_run store ~clients (List.rev !acc)
+  mc_run ?latency store ~clients (List.rev !acc)
 
 (* ---------- reporting ---------- *)
 

@@ -950,6 +950,123 @@ let run_multithreaded () = run_multithreaded_at ~n:n_medium ()
 (* reduced scale for the CI smoke step *)
 let run_multithreaded_smoke () = run_multithreaded_at ~n:(n_medium / 5) ()
 
+(* ---------------- latency : fig 5.5 latency comparison + stall profile -- *)
+
+module L = Pdb_kvs.Latency
+module H = Pdb_util.Histogram
+
+(* Per-operation latency percentiles per engine (the paper reports average
+   and 99th-percentile read/write latency, Fig 5.5), then a
+   latency-under-load profile: the fill replayed in chunks, sampling
+   throughput, compaction backlog and stall time over simulated time —
+   the write-stall dynamics where LSM designs differ most (Luo & Carey). *)
+let run_latency_at ~n () =
+  let lat_row store_name label h =
+    [
+      store_name;
+      label;
+      B.fmt_f ~digits:1 (H.mean h /. 1e3);
+      B.fmt_f ~digits:1 (H.percentile h 50.0 /. 1e3);
+      B.fmt_f ~digits:1 (H.percentile h 90.0 /. 1e3);
+      B.fmt_f ~digits:1 (H.percentile h 99.0 /. 1e3);
+      B.fmt_f ~digits:1 (H.percentile h 99.9 /. 1e3);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun engine ->
+        let name = Stores.engine_name engine in
+        let store = Stores.open_engine engine in
+        let lat = L.create () in
+        let timed = L.instrument lat store in
+        ignore (B.fill_random timed ~n ~value_bytes:value_1k ~seed);
+        ignore (B.read_random timed ~n ~ops:(n / 2) ~seed);
+        ignore (B.seek_random timed ~n ~ops:(n / 10) ~nexts:0 ~seed);
+        store.Dyn.d_close ();
+        List.iter
+          (fun (kind, label) ->
+            let h = L.hist lat kind in
+            if H.count h > 0 then
+              B.Json.metric ~store:name (label ^ "_p99_us")
+                (H.percentile h 99.0 /. 1e3))
+          L.kinds;
+        List.filter_map
+          (fun (kind, label) ->
+            let h = L.hist lat kind in
+            if H.count h = 0 then None else Some (lat_row name label h))
+          L.kinds)
+      Stores.paper_stores
+  in
+  B.print_table
+    ~title:
+      (Printf.sprintf
+         "Fig 5.5 latency — per-op modeled latency, us (%dk x 1KB fill, then \
+          reads and seeks)"
+         (n / 1000))
+    ~header:[ "store"; "op"; "mean"; "p50"; "p90"; "p99"; "p99.9" ]
+    rows;
+  (* stall profile: chunked fill sampled over simulated time *)
+  let chunks = 10 in
+  let per_chunk = max 1 (n / chunks) in
+  List.iter
+    (fun engine ->
+      let name = Stores.engine_name engine in
+      let store = Stores.open_engine engine in
+      let clock = Env.clock store.Dyn.d_env in
+      let rng = Pdb_util.Rng.create seed in
+      let perm = Array.init (chunks * per_chunk) Fun.id in
+      Pdb_util.Rng.shuffle rng perm;
+      let prev_stall = ref 0.0 in
+      let sample_rows =
+        List.init chunks (fun c ->
+            let lat = L.create () in
+            let timed = L.instrument lat store in
+            let phase =
+              B.measure timed per_chunk (fun () ->
+                  for i = c * per_chunk to ((c + 1) * per_chunk) - 1 do
+                    timed.Dyn.d_put (B.key_of perm.(i))
+                      (Pdb_util.Rng.alpha rng value_1k)
+                  done)
+            in
+            let st = store.Dyn.d_stats () in
+            (* capture floats now: d_stats returns one mutable record *)
+            let stall =
+              st.Pdb_kvs.Engine_stats.stall_slowdown_ns
+              +. st.Pdb_kvs.Engine_stats.stall_stop_ns
+            in
+            let pending = st.Pdb_kvs.Engine_stats.compaction_pending in
+            let backlog = st.Pdb_kvs.Engine_stats.compaction_backlog_bytes in
+            let stall_delta = stall -. !prev_stall in
+            prev_stall := stall;
+            let t_ms =
+              Pdb_simio.Clock.elapsed_ns (Pdb_simio.Clock.snapshot clock)
+              /. 1e6
+            in
+            [
+              B.fmt_f ~digits:1 t_ms;
+              B.fmt_f ~digits:1 phase.B.kops;
+              string_of_int pending;
+              B.fmt_f (B.mb backlog);
+              B.fmt_f ~digits:1 (stall_delta /. 1e6);
+              B.fmt_f ~digits:1 (H.percentile (L.hist lat L.Write) 99.0 /. 1e3);
+            ])
+      in
+      store.Dyn.d_close ();
+      B.print_table
+        ~title:
+          (Printf.sprintf
+             "Stall profile — %s: chunked fill over simulated time (%d \
+              chunks x %d ops)"
+             name chunks per_chunk)
+        ~header:
+          [ "t (ms)"; "KOps/s"; "pending"; "backlog MB"; "stall ms";
+            "write p99 us" ]
+        sample_rows)
+    [ Stores.Pebblesdb; Stores.Hyperleveldb ]
+
+let run_latency () = run_latency_at ~n:n_medium ()
+let run_latency_smoke () = run_latency_at ~n:(n_medium / 5) ()
+
 (* ---------------- registry ---------------------------------------------- *)
 
 let all : experiment list =
@@ -976,6 +1093,10 @@ let all : experiment list =
       run = run_multithreaded };
     { id = "mt-smoke"; title = "Multithreaded clients (reduced scale)";
       run = run_multithreaded_smoke };
+    { id = "latency"; title = "Latency percentiles and stall profile";
+      run = run_latency };
+    { id = "latency-smoke"; title = "Latency percentiles (reduced scale)";
+      run = run_latency_smoke };
     { id = "future"; title = "Future-work features (ch. 7)";
       run = run_future_work };
   ]
@@ -990,11 +1111,12 @@ let run_by_id id =
     e.run ()
   | None -> pf "unknown experiment id %s\n" id
 
-(* the smoke id duplicates mt at reduced scale — skip it in full runs *)
+(* the *-smoke ids duplicate full experiments at reduced scale — skip
+   them in full runs *)
 let run_all () =
   List.iter
     (fun e ->
-      if e.id <> "mt-smoke" then begin
+      if not (String.ends_with ~suffix:"-smoke" e.id) then begin
         B.Json.set_context e.id;
         pf "\n#### %s — %s\n%!" e.id e.title;
         e.run ()

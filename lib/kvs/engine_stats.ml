@@ -33,6 +33,10 @@ type t = {
   mutable compaction_backlog_peak_bytes : int;
   mutable compaction_serialized_jobs : int;
       (** jobs delayed by a conflicting footprint *)
+  mutable compaction_pending : int;
+      (** jobs queued but not yet run at the time of the stats call *)
+  mutable compaction_backlog_bytes : int;
+      (** estimated bytes across currently pending jobs *)
   mutable stall_slowdown_ns : float;
   mutable stall_stop_ns : float;
   mutable worker_busy_ns : float array;  (** per-lane busy time *)
@@ -51,8 +55,10 @@ type t = {
       (** batches committed through groups; [/ write_groups] is the
           average group size *)
   mutable group_syncs_saved : int;
-      (** WAL syncs amortised away by grouping: [size - 1] per group
-          committed under [wal_sync_writes] *)
+      (** WAL syncs amortised away by grouping under [wal_sync_writes]:
+          per group, one less than the batches covered by the end-of-group
+          sync — batches retired by a mid-group flush/checkpoint (their
+          log was rotated away) don't count *)
   mutable client_wait_ns : float array;
       (** per-client foreground blocked time (device contention + waiting
           on a group leader), set by the multi-client driver *)
@@ -93,6 +99,8 @@ let create () =
     compaction_queue_peak = 0;
     compaction_backlog_peak_bytes = 0;
     compaction_serialized_jobs = 0;
+    compaction_pending = 0;
+    compaction_backlog_bytes = 0;
     stall_slowdown_ns = 0.0;
     stall_stop_ns = 0.0;
     worker_busy_ns = [||];

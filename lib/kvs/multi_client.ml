@@ -27,14 +27,19 @@ module Clock = Pdb_simio.Clock
 
 type op =
   | Write of Write_batch.t  (** groupable: put / delete / update batches *)
+  | Read of (unit -> unit)  (** point lookup, on its client's lane *)
+  | Seek of (unit -> unit)  (** iterator seek / scan, on its client's lane *)
   | Other of (unit -> unit)
-      (** executed as-is on its client's lane: reads, scans, RMW *)
+      (** anything else executed as-is on its client's lane (e.g. RMW) *)
 
 type result = {
   clients : int;
   ops : int;
   elapsed_ns : float;
   write_groups : int;  (** groups formed during this phase *)
+  lane_groups : int;
+      (** groups placed on the client lanes — equals [write_groups] when
+          every write flows through {!Write} ops *)
   grouped_batches : int;  (** batches committed through those groups *)
   avg_group_size : float;
   syncs_saved : int;  (** WAL syncs amortised away during this phase *)
@@ -52,8 +57,11 @@ let measured clock f =
   (d.Clock.cpu_ns, d.Clock.foreground_ns, d.Clock.stall_ns)
 
 (** [run store ~clients ops] executes [ops] (in order) as [clients]
-    round-robin client lanes. *)
-let run (store : Store_intf.dyn) ~clients ops =
+    round-robin client lanes.  With [?latency], each operation's modeled
+    lane latency (arrival to completion, stalls and group waits included)
+    is recorded under its op kind — recording never changes placement or
+    store state. *)
+let run ?latency (store : Store_intf.dyn) ~clients ops =
   let clients = max 1 clients in
   let clock = Pdb_simio.Env.clock store.Store_intf.d_env in
   let lanes = Fg.create ~clients in
@@ -62,15 +70,24 @@ let run (store : Store_intf.dyn) ~clients ops =
   let groups0 = stats0.Engine_stats.write_groups in
   let batches0 = stats0.Engine_stats.write_group_batches in
   let saved0 = stats0.Engine_stats.group_syncs_saved in
+  let note kind ns =
+    match latency with Some lat -> Latency.record lat kind ns | None -> ()
+  in
   let ops = Array.of_list ops in
   let n = Array.length ops in
   let i = ref 0 in
   while !i < n do
     let client = !i mod clients in
     match ops.(!i) with
-    | Other f ->
+    | Read f | Seek f | Other f ->
+      let kind =
+        match ops.(!i) with
+        | Read _ -> Latency.Read
+        | Seek _ -> Latency.Seek
+        | _ -> Latency.Other
+      in
       let cpu_ns, io_ns, stall_ns = measured clock (fun () -> f ()) in
-      Fg.place lanes ~client ~cpu_ns ~io_ns ~stall_ns;
+      note kind (Fg.place lanes ~client ~cpu_ns ~io_ns ~stall_ns);
       incr i
     | Write _ ->
       (* the commit window: every client with a write pending at the
@@ -83,7 +100,7 @@ let run (store : Store_intf.dyn) ~clients ops =
             let c = !i mod clients in
             incr i;
             collect (k + 1) (c :: members) (b :: batches)
-          | Other _ -> (members, batches)
+          | Read _ | Seek _ | Other _ -> (members, batches)
         else (members, batches)
       in
       let members, batches = collect 0 [] [] in
@@ -91,7 +108,8 @@ let run (store : Store_intf.dyn) ~clients ops =
       let cpu_ns, io_ns, stall_ns =
         measured clock (fun () -> store.Store_intf.d_write_group batches)
       in
-      Fg.place_group lanes ~members ~cpu_ns ~io_ns ~stall_ns
+      let lats = Fg.place_group lanes ~members ~cpu_ns ~io_ns ~stall_ns in
+      List.iter (note Latency.Write) lats
   done;
   let bg_advance =
     Float.max 0.0 ((Clock.snapshot clock).Clock.bg_horizon_ns -. bg0)
@@ -109,6 +127,7 @@ let run (store : Store_intf.dyn) ~clients ops =
     ops = n;
     elapsed_ns;
     write_groups;
+    lane_groups = Fg.groups_placed lanes;
     grouped_batches;
     avg_group_size =
       (if write_groups = 0 then 0.0

@@ -45,6 +45,12 @@ let commit h batches =
   | [] -> ()
   | batches ->
     let pending = ref [] in
+    (* batches whose durability rides on the end-of-group sync; a
+       mid-group flush retires the log holding everything so far (the
+       flushed sstable + manifest install covers those records), so it
+       resets the count — crediting [n - 1] unconditionally would
+       overcount elided syncs *)
+    let covered = ref 0 in
     let flush_pending () =
       if !pending <> [] then begin
         h.log_append (List.rev !pending);
@@ -57,11 +63,13 @@ let commit h batches =
         let base_seq = h.alloc_seq (h.count batch) in
         pending := h.encode batch ~base_seq :: !pending;
         h.apply batch ~base_seq;
+        incr covered;
         if h.memtable_full () then begin
           (* push this group's records into the log the flush is about
              to retire before the rotation deletes it *)
           flush_pending ();
-          h.flush ()
+          h.flush ();
+          covered := 0
         end)
       batches;
     flush_pending ();
@@ -73,4 +81,4 @@ let commit h batches =
       st.Engine_stats.write_group_batches + n;
     if h.sync_writes then
       st.Engine_stats.group_syncs_saved <-
-        st.Engine_stats.group_syncs_saved + (n - 1)
+        st.Engine_stats.group_syncs_saved + max 0 (!covered - 1)

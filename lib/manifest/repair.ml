@@ -41,12 +41,13 @@ let sst_number ~dir name =
   else None
 
 (* Full scan of a table for its maximum sequence number — repair is allowed
-   to be expensive. *)
-let max_seq_of env ~dir (meta : Table.meta) =
+   to be expensive.  [cache] is a shared scratch block cache: each table's
+   blocks are evicted after its scan (a repair pass never revisits a
+   table, so keeping them would only evict the next table's blocks). *)
+let max_seq_of env ~dir ~cache (meta : Table.meta) =
   let reader =
     Table.open_reader ~hint:Pdb_simio.Device.Sequential_read env ~dir meta
   in
-  let cache = Pdb_sstable.Block_cache.create ~capacity:(1 lsl 16) in
   let it = Table.iterator reader ~cache ~hint:Pdb_simio.Device.Sequential_read in
   it.Pdb_kvs.Iter.seek_to_first ();
   let m = ref 0 in
@@ -54,6 +55,8 @@ let max_seq_of env ~dir (meta : Table.meta) =
     m := max !m (Pdb_kvs.Internal_key.seq (it.Pdb_kvs.Iter.key ()));
     it.Pdb_kvs.Iter.next ()
   done;
+  Pdb_sstable.Block_cache.evict_file cache
+    ~file:(Table.file_name ~dir meta.Table.number);
   !m
 
 (** [repair env ~dir] rebuilds the MANIFEST; any engine can then open the
@@ -67,8 +70,9 @@ let repair env ~dir =
   let metas =
     List.map (fun number -> Table.recover_meta env ~dir ~number) numbers
   in
+  let cache = Pdb_sstable.Block_cache.create ~capacity:(1 lsl 16) in
   let max_sequence =
-    List.fold_left (fun acc m -> max acc (max_seq_of env ~dir m)) 0 metas
+    List.fold_left (fun acc m -> max acc (max_seq_of env ~dir ~cache m)) 0 metas
   in
   let next_file =
     1 + List.fold_left (fun acc n -> max acc n) 0 numbers

@@ -80,6 +80,7 @@ type t = {
   mutable plan : Fault_plan.t option;
   mutable atomic_depth : int;
   mutable pending_crash : string option;
+  mutable tracer : Trace.t option;
 }
 
 type writer = { env : t; name : string; file : file }
@@ -93,6 +94,7 @@ let create ?(device = Device.ssd ()) () =
     plan = None;
     atomic_depth = 0;
     pending_crash = None;
+    tracer = None;
   }
 
 let stats t = t.stats
@@ -102,6 +104,10 @@ let clock t = t.clock
 let set_fault_plan t plan = t.plan <- Some plan
 let clear_fault_plan t = t.plan <- None
 let fault_plan t = t.plan
+
+let set_tracer t tr = t.tracer <- Some tr
+let clear_tracer t = t.tracer <- None
+let tracer t = t.tracer
 
 (* One injection point: decrement the armed plan's countdown and raise
    {!Injected_crash} when it reaches zero.  Inside an {!with_atomic}
@@ -117,6 +123,13 @@ let tick t label =
       p.Fault_plan.fired_at <- Some label;
       p.Fault_plan.fired_in_background <-
         t.clock.Clock.lane = Clock.Background;
+      (match t.tracer with
+       | Some tr ->
+         Trace.instant tr ~name:("fault:" ^ label) ~cat:"fault"
+           ~lane:"faults"
+           ~ts_ns:(Clock.elapsed_ns (Clock.snapshot t.clock))
+           ()
+       | None -> ());
       if t.atomic_depth > 0 then t.pending_crash <- Some label
       else raise (Injected_crash label)
     end

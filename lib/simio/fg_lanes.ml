@@ -50,10 +50,11 @@ let horizon_ns t = Array.fold_left Float.max 0.0 t.free_at
 let device_ns t = t.device_free
 
 (** [place t ~client ~cpu_ns ~io_ns ~stall_ns] places one operation on
-    [client]'s lane.  Its CPU overlaps its own device time (the lane is
-    bound by the slower of the two); the device part starts no earlier
-    than the shared-device frontier; stall time (write back-pressure) is
-    serial on the lane. *)
+    [client]'s lane and returns its modeled latency — arrival (the lane's
+    previous frontier) to completion, stall included.  Its CPU overlaps
+    its own device time (the lane is bound by the slower of the two); the
+    device part starts no earlier than the shared-device frontier; stall
+    time (write back-pressure) is serial on the lane. *)
 let place t ~client ~cpu_ns ~io_ns ~stall_ns =
   let start = t.free_at.(client) in
   let finish =
@@ -67,22 +68,30 @@ let place t ~client ~cpu_ns ~io_ns ~stall_ns =
     else start +. cpu_ns
   in
   t.free_at.(client) <- finish +. stall_ns;
-  t.ops_placed <- t.ops_placed + 1
+  t.ops_placed <- t.ops_placed + 1;
+  finish +. stall_ns -. start
 
 (** [place_group t ~members ~cpu_ns ~io_ns ~stall_ns] places one group
-    commit.  Each member first runs its share of the group's CPU work on
-    its own lane (in parallel with the other members); the leader then
-    performs the group's device work — the coalesced WAL append and the
-    single sync — starting when the last member has arrived and the
-    device is free.  Every member lane advances to the commit's finish:
-    followers are charged wait time, not IO. *)
+    commit and returns each member's modeled latency (arrival to group
+    completion, in [members] order).  Each member first runs its share of
+    the group's CPU work on its own lane (in parallel with the other
+    members); the leader then performs the group's device work — the
+    coalesced WAL append and the single sync — starting when the last
+    member has arrived and the device is free.  Every member lane
+    advances to the commit's finish: followers are charged wait time, not
+    IO.  Every non-empty group counts in [groups_placed], single-member
+    groups included, matching [Engine_stats.write_groups]. *)
 let place_group t ~members ~cpu_ns ~io_ns ~stall_ns =
   match members with
-  | [] -> ()
-  | [ client ] -> place t ~client ~cpu_ns ~io_ns ~stall_ns
+  | [] -> []
+  | [ client ] ->
+    let lat = place t ~client ~cpu_ns ~io_ns ~stall_ns in
+    t.groups_placed <- t.groups_placed + 1;
+    [ lat ]
   | _ ->
     let k = float_of_int (List.length members) in
     let cpu_each = cpu_ns /. k in
+    let starts = List.map (fun c -> t.free_at.(c)) members in
     let ready =
       List.fold_left
         (fun acc c -> Float.max acc (t.free_at.(c) +. cpu_each))
@@ -105,4 +114,5 @@ let place_group t ~members ~cpu_ns ~io_ns ~stall_ns =
         t.free_at.(c) <- finish)
       members;
     t.ops_placed <- t.ops_placed + List.length members;
-    t.groups_placed <- t.groups_placed + 1
+    t.groups_placed <- t.groups_placed + 1;
+    List.map (fun start -> finish -. start) starts

@@ -70,10 +70,13 @@ let serialized_jobs t = t.serialized_jobs
 
 let horizon_ns t = Array.fold_left Float.max 0.0 t.free_at
 
-(** [place t fp ~duration_ns] puts a completed unit of work on the lane
-    that lets it finish earliest, honouring footprint conflicts; returns
-    the modeled finish time. *)
-let place t fp ~duration_ns =
+type placement = { lane : int; start_ns : float; finish_ns : float }
+
+(** [place_span t fp ~duration_ns] puts a completed unit of work on the
+    lane that lets it finish earliest, honouring footprint conflicts;
+    returns the full placement (lane, modeled start and finish) — the
+    tracer uses it to draw per-worker timelines. *)
+let place_span t fp ~duration_ns =
   let blocked_until =
     List.fold_left
       (fun acc (g, fin) -> if conflicts fp g then Float.max acc fin else acc)
@@ -101,4 +104,8 @@ let place t fp ~duration_ns =
   let floor = Array.fold_left Float.min infinity t.free_at in
   t.placed <- (fp, finish) :: List.filter (fun (_, f) -> f > floor) t.placed;
   Clock.note_bg_horizon t.clock finish;
-  finish
+  { lane = !lane; start_ns = !start; finish_ns = finish }
+
+(** [place t fp ~duration_ns] is {!place_span} returning only the modeled
+    finish time. *)
+let place t fp ~duration_ns = (place_span t fp ~duration_ns).finish_ns

@@ -42,8 +42,15 @@ val serialized_jobs : t -> int
 val horizon_ns : t -> float
 (** Max finish time over all lanes. *)
 
+type placement = { lane : int; start_ns : float; finish_ns : float }
+(** Where a job landed: worker lane index and modeled start/finish. *)
+
+val place_span : t -> footprint -> duration_ns:float -> placement
+(** [place_span t fp ~duration_ns] assigns the job to the lane that lets
+    it finish earliest (ties to the lowest index), no earlier than the
+    finish of any conflicting placed job; returns the placement and
+    raises the clock's background horizon to its finish. *)
+
 val place : t -> footprint -> duration_ns:float -> float
-(** [place t fp ~duration_ns] assigns the job to the lane that lets it
-    finish earliest (ties to the lowest index), no earlier than the
-    finish of any conflicting placed job; returns the finish time and
-    raises the clock's background horizon to it. *)
+(** [place t fp ~duration_ns] is {!place_span} returning only the finish
+    time. *)

@@ -1,0 +1,143 @@
+(** Event tracer over the simulated clock: a bounded ring buffer of
+    timestamped spans and instants, exportable as Chrome trace-event JSON
+    (load the file in Perfetto / chrome://tracing).
+
+    Producers record *modeled* times (nanoseconds of simulated clock), not
+    wall time: compaction jobs carry the worker-lane placement computed by
+    {!Sched.place_span}, foreground events stamp the clock's current
+    elapsed time.  Recording is purely observational — attaching a tracer
+    never changes IO, clock charging or store bytes.
+
+    The buffer keeps the most recent [capacity] events; older ones are
+    dropped (counted in {!dropped}) so long benchmarks stay bounded. *)
+
+type event = {
+  name : string;  (** e.g. ["compact:l0"], ["flush"], ["wal-rotate"] *)
+  cat : string;  (** coarse category: "compaction", "wal", "stall", ... *)
+  lane : string;  (** timeline row, e.g. ["worker-0"], ["foreground"] *)
+  ts_ns : float;  (** span start (or instant time), simulated ns *)
+  dur_ns : float;  (** span duration in ns; 0 for instants *)
+  args : (string * string) list;  (** extra key/value detail *)
+}
+
+type t = {
+  buf : event option array;
+  capacity : int;
+  mutable next : int;  (** next slot to write (ring index) *)
+  mutable count : int;  (** total events ever recorded *)
+}
+
+let create ?(capacity = 65536) () =
+  { buf = Array.make (max 1 capacity) None; capacity = max 1 capacity;
+    next = 0; count = 0 }
+
+let record t ev =
+  t.buf.(t.next) <- Some ev;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.count <- t.count + 1
+
+(** [span t ~name ~cat ~lane ~start_ns ~dur_ns ()] records a complete span. *)
+let span t ?(args = []) ~name ~cat ~lane ~start_ns ~dur_ns () =
+  record t { name; cat; lane; ts_ns = start_ns; dur_ns = max 0.0 dur_ns; args }
+
+(** [instant t ~name ~cat ~lane ~ts_ns ()] records a zero-duration event. *)
+let instant t ?(args = []) ~name ~cat ~lane ~ts_ns () =
+  record t { name; cat; lane; ts_ns; dur_ns = 0.0; args }
+
+let count t = t.count
+let dropped t = max 0 (t.count - t.capacity)
+
+(** Retained events, oldest first. *)
+let events t =
+  let n = min t.count t.capacity in
+  let start = if t.count <= t.capacity then 0 else t.next in
+  List.init n (fun i ->
+      match t.buf.((start + i) mod t.capacity) with
+      | Some ev -> ev
+      | None -> assert false)
+
+(* --- Chrome trace-event export ------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** [to_chrome_json t] renders the retained events in the Chrome
+    trace-event format: one ["X"] (complete) event per span, ["i"]
+    instants, plus ["M"] thread_name metadata naming each lane.  Times are
+    microseconds as the format requires; lanes map to tids in order of
+    first appearance, pid is 1 throughout. *)
+let to_chrome_json t =
+  let evs = events t in
+  let lanes = Hashtbl.create 8 in
+  let lane_order = ref [] in
+  let tid_of lane =
+    match Hashtbl.find_opt lanes lane with
+    | Some tid -> tid
+    | None ->
+      let tid = Hashtbl.length lanes + 1 in
+      Hashtbl.add lanes lane tid;
+      lane_order := (lane, tid) :: !lane_order;
+      tid
+  in
+  List.iter (fun ev -> ignore (tid_of ev.lane)) evs;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string b ",\n "
+  in
+  (* thread_name metadata first so Perfetto labels every row *)
+  List.iter
+    (fun (lane, tid) ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\
+            \"args\":{\"name\":\"%s\"}}"
+           tid (json_escape lane)))
+    (List.rev !lane_order);
+  let add_args args =
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+      args;
+    Buffer.add_char b '}'
+  in
+  List.iter
+    (fun ev ->
+      sep ();
+      let tid = tid_of ev.lane in
+      if ev.dur_ns > 0.0 then
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\",\
+              \"cat\":\"%s\",\"ts\":%.3f,\"dur\":%.3f"
+             tid (json_escape ev.name) (json_escape ev.cat)
+             (ev.ts_ns /. 1e3) (ev.dur_ns /. 1e3))
+      else
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"name\":\"%s\",\
+              \"cat\":\"%s\",\"ts\":%.3f,\"s\":\"t\""
+             tid (json_escape ev.name) (json_escape ev.cat)
+             (ev.ts_ns /. 1e3));
+      add_args ev.args;
+      Buffer.add_char b '}')
+    evs;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b

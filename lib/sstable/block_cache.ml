@@ -25,6 +25,23 @@ let find_or_load (t : t) env ~file ~offset ~size ~hint =
     Pdb_util.Lru.insert t k block ~weight:size;
     (block, `Miss)
 
+(** [evict_file t ~file] drops every cached block of [file].  Called when
+    an sstable is garbage-collected: its decoded blocks must not keep
+    occupying LRU capacity (they can never hit again) or skew hit rates,
+    mirroring [Table_cache.evict]. *)
+let evict_file (t : t) ~file =
+  let prefix = file ^ ":" in
+  let plen = String.length prefix in
+  let doomed =
+    Pdb_util.Lru.fold t
+      (fun acc k _ ->
+        if String.length k >= plen && String.sub k 0 plen = prefix then
+          k :: acc
+        else acc)
+      []
+  in
+  List.iter (Pdb_util.Lru.remove t) doomed
+
 let used = Pdb_util.Lru.used
 let hits = Pdb_util.Lru.hits
 let misses = Pdb_util.Lru.misses

@@ -29,11 +29,36 @@ let add t v =
 
 let count t = t.len
 
+(* In-place heapsort of the live prefix [0, len) with [Float.compare] —
+   no copy, no polymorphic compare, and the stale tail beyond [len]
+   (left by growth or [clear]) never participates. *)
 let ensure_sorted t =
   if not t.sorted then begin
-    let live = Array.sub t.values 0 t.len in
-    Array.sort compare live;
-    Array.blit live 0 t.values 0 t.len;
+    let a = t.values and n = t.len in
+    let swap i j =
+      let v = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- v
+    in
+    let rec sift_down i n =
+      let l = (2 * i) + 1 in
+      if l < n then begin
+        let c =
+          if l + 1 < n && Float.compare a.(l + 1) a.(l) > 0 then l + 1 else l
+        in
+        if Float.compare a.(c) a.(i) > 0 then begin
+          swap c i;
+          sift_down c n
+        end
+      end
+    in
+    for i = (n / 2) - 1 downto 0 do
+      sift_down i n
+    done;
+    for k = n - 1 downto 1 do
+      swap 0 k;
+      sift_down 0 k
+    done;
     t.sorted <- true
   end
 

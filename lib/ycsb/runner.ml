@@ -76,10 +76,10 @@ let measure (store : Dyn.dyn) name f =
 (* Measure a phase driven through the multi-client executor: ops
    interleave round-robin across [clients] foreground lanes and writes
    group-commit; elapsed comes from the lane placement. *)
-let measure_clients (store : Dyn.dyn) name ~clients ops
+let measure_clients ?latency (store : Dyn.dyn) name ~clients ops
     ~counts:(nops, reads, updates, inserts, scans, rmws) =
   let io0 = Pdb_simio.Io_stats.snapshot (Pdb_simio.Env.stats store.Dyn.d_env) in
-  let r = Pdb_kvs.Multi_client.run store ~clients ops in
+  let r = Pdb_kvs.Multi_client.run ?latency store ~clients ops in
   let io1 = Pdb_simio.Io_stats.snapshot (Pdb_simio.Env.stats store.Dyn.d_env) in
   let io = Pdb_simio.Io_stats.diff io1 io0 in
   {
@@ -110,15 +110,22 @@ let put_op key value =
   Pdb_kvs.Write_batch.put b key value;
   Pdb_kvs.Multi_client.Write b
 
-(** [load ?clients store ~records ~value_bytes ~seed] is the YCSB load
-    phase: insert [records] fresh records.  With [~clients:n] the
-    inserts interleave round-robin across [n] client lanes and commit in
-    groups; the values (and hence the store's final state) are the same
-    at any client count. *)
-let load ?clients (store : Dyn.dyn) ~records ~value_bytes ~seed =
+(** [load ?clients ?latency store ~records ~value_bytes ~seed] is the
+    YCSB load phase: insert [records] fresh records.  With [~clients:n]
+    the inserts interleave round-robin across [n] client lanes and commit
+    in groups; the values (and hence the store's final state) are the
+    same at any client count.  With [?latency], per-operation modeled
+    latencies are collected (clock-snapshot deltas on the serial path,
+    lane placement on the client path) without changing store state. *)
+let load ?clients ?latency (store : Dyn.dyn) ~records ~value_bytes ~seed =
   let rng = Pdb_util.Rng.create seed in
   match clients with
   | None ->
+    let store =
+      match latency with
+      | Some lat -> Pdb_kvs.Latency.instrument lat store
+      | None -> store
+    in
     measure store "load" (fun () ->
         for n = 0 to records - 1 do
           store.Dyn.d_put (key_of_record n) (make_value rng value_bytes)
@@ -129,17 +136,18 @@ let load ?clients (store : Dyn.dyn) ~records ~value_bytes ~seed =
     for n = 0 to records - 1 do
       ops := put_op (key_of_record n) (make_value rng value_bytes) :: !ops
     done;
-    measure_clients store "load" ~clients (List.rev !ops)
+    measure_clients ?latency store "load" ~clients (List.rev !ops)
       ~counts:(records, 0, 0, records, 0, 0)
 
-(** [run ?clients store spec ~records ~operations ~value_bytes ~seed]
-    executes the transaction phase of [spec] against a store already
-    loaded with [records] records.  With [~clients:n] the ops interleave
-    round-robin across [n] client lanes (writes group-commit); the drawn
-    op sequence — and the store's final state — is the same at any
-    client count. *)
-let run ?clients (store : Dyn.dyn) (spec : Workload.spec) ~records ~operations
-    ~value_bytes ~seed =
+(** [run ?clients ?latency store spec ~records ~operations ~value_bytes
+    ~seed] executes the transaction phase of [spec] against a store
+    already loaded with [records] records.  With [~clients:n] the ops
+    interleave round-robin across [n] client lanes (writes group-commit);
+    the drawn op sequence — and the store's final state — is the same at
+    any client count.  With [?latency], per-operation modeled latencies
+    are collected without changing store state. *)
+let run ?clients ?latency (store : Dyn.dyn) (spec : Workload.spec) ~records
+    ~operations ~value_bytes ~seed =
   let rng = Pdb_util.Rng.create (seed + 17) in
   let dist =
     match spec.Workload.dist with
@@ -153,8 +161,8 @@ let run ?clients (store : Dyn.dyn) (spec : Workload.spec) ~records ~operations
   and inserts = ref 0
   and scans = ref 0
   and rmws = ref 0 in
-  let scan_op start len =
-    let it = store.Dyn.d_iterator () in
+  let scan_op (st : Dyn.dyn) start len =
+    let it = st.Dyn.d_iterator () in
     it.Iter.seek (key_of_record start);
     let steps = ref 0 in
     while it.Iter.valid () && !steps < len do
@@ -166,6 +174,11 @@ let run ?clients (store : Dyn.dyn) (spec : Workload.spec) ~records ~operations
   in
   match clients with
   | None ->
+    let store =
+      match latency with
+      | Some lat -> Pdb_kvs.Latency.instrument lat store
+      | None -> store
+    in
     measure store ("run-" ^ spec.Workload.name) (fun () ->
         for _ = 1 to operations do
           match Workload.draw_op spec rng with
@@ -187,7 +200,7 @@ let run ?clients (store : Dyn.dyn) (spec : Workload.spec) ~records ~operations
             incr scans;
             let start = Pdb_util.Dist.next dist in
             let len = 1 + Pdb_util.Rng.int rng spec.Workload.max_scan_len in
-            scan_op start len
+            scan_op store start len
           | Workload.Read_modify_write ->
             incr rmws;
             let n = Pdb_util.Dist.next dist in
@@ -205,7 +218,7 @@ let run ?clients (store : Dyn.dyn) (spec : Workload.spec) ~records ~operations
       | Workload.Read ->
         incr reads;
         let key = key_of_record (Pdb_util.Dist.next dist) in
-        push (Pdb_kvs.Multi_client.Other (fun () -> ignore (store.Dyn.d_get key)))
+        push (Pdb_kvs.Multi_client.Read (fun () -> ignore (store.Dyn.d_get key)))
       | Workload.Update ->
         incr updates;
         let key = key_of_record (Pdb_util.Dist.next dist) in
@@ -220,7 +233,7 @@ let run ?clients (store : Dyn.dyn) (spec : Workload.spec) ~records ~operations
         incr scans;
         let start = Pdb_util.Dist.next dist in
         let len = 1 + Pdb_util.Rng.int rng spec.Workload.max_scan_len in
-        push (Pdb_kvs.Multi_client.Other (fun () -> scan_op start len))
+        push (Pdb_kvs.Multi_client.Seek (fun () -> scan_op store start len))
       | Workload.Read_modify_write ->
         incr rmws;
         let key = key_of_record (Pdb_util.Dist.next dist) in
@@ -231,7 +244,7 @@ let run ?clients (store : Dyn.dyn) (spec : Workload.spec) ~records ~operations
                ignore (store.Dyn.d_get key);
                store.Dyn.d_put key value))
     done;
-    measure_clients store
+    measure_clients ?latency store
       ("run-" ^ spec.Workload.name)
       ~clients (List.rev !ops)
       ~counts:(operations, !reads, !updates, !inserts, !scans, !rmws)

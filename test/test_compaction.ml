@@ -39,7 +39,7 @@ let manual_job ?(key = "x") run =
 
 let test_submit_dedup_and_fifo () =
   let clock = Clock.create () in
-  let s = Scheduler.create ~clock ~workers:2 in
+  let s = Scheduler.create ~clock ~workers:2 () in
   let order = ref [] in
   Alcotest.(check bool) "first accepted" true
     (Scheduler.submit s (manual_job ~key:"a" (fun () -> order := "a" :: !order)));
@@ -57,7 +57,7 @@ let test_submit_dedup_and_fifo () =
 
 let test_drain_runs_on_background_lane () =
   let clock = Clock.create () in
-  let s = Scheduler.create ~clock ~workers:1 in
+  let s = Scheduler.create ~clock ~workers:1 () in
   ignore
     (Scheduler.submit s (manual_job (fun () -> Clock.advance clock 500.0)));
   Scheduler.drain s;

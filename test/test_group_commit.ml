@@ -44,11 +44,20 @@ let run_fill engine ~clients =
   (env, store, entries, r)
 
 let test_state_invariance engine () =
-  let env1, s1, entries1, _ = run_fill engine ~clients:1 in
-  let env4, s4, entries4, _ = run_fill engine ~clients:4 in
+  let env1, s1, entries1, r1 = run_fill engine ~clients:1 in
+  let env4, s4, entries4, r4 = run_fill engine ~clients:4 in
   let env8, s8, entries8, r8 = run_fill engine ~clients:8 in
   Alcotest.(check int) "8-client run formed multi-batch groups" 8
     (int_of_float r8.Mc.avg_group_size);
+  (* the lane scheduler and the engine must agree on how many commit
+     groups formed — every group placed on a lane is one engine-side
+     write_group call, and vice versa *)
+  List.iter
+    (fun (clients, (r : Mc.result)) ->
+      Alcotest.(check int)
+        (Printf.sprintf "lane groups = engine write groups at %dc" clients)
+        r.Mc.write_groups r.Mc.lane_groups)
+    [ (1, r1); (4, r4); (8, r8) ];
   Alcotest.(check bool) "iteration results identical 1c vs 4c" true
     (entries1 = entries4);
   Alcotest.(check bool) "iteration results identical 1c vs 8c" true
@@ -84,6 +93,8 @@ let test_determinism () =
   in
   let a = once () and b = once () in
   Alcotest.(check int) "groups" a.Mc.write_groups b.Mc.write_groups;
+  Alcotest.(check int) "lane groups agree with engine groups"
+    a.Mc.write_groups a.Mc.lane_groups;
   Alcotest.(check int) "grouped batches" a.Mc.grouped_batches
     b.Mc.grouped_batches;
   Alcotest.(check int) "syncs saved" a.Mc.syncs_saved b.Mc.syncs_saved;

@@ -145,6 +145,40 @@ let test_histogram_interleaved_sorting () =
   (* adding after a percentile query must keep ordering correct *)
   check (Alcotest.float 0.001) "min after resort" 1.0 (Histogram.min_value h)
 
+(* nearest-rank edges: rank = ceil(p/100 * n) clamped to [1, n] *)
+let test_histogram_percentile_edges () =
+  let h = Histogram.create () in
+  check (Alcotest.float 0.0) "empty p50" 0.0 (Histogram.percentile h 50.0);
+  Histogram.add h 7.0;
+  check (Alcotest.float 0.0) "single p0" 7.0 (Histogram.percentile h 0.0);
+  check (Alcotest.float 0.0) "single p50" 7.0 (Histogram.percentile h 50.0);
+  check (Alcotest.float 0.0) "single p100" 7.0 (Histogram.percentile h 100.0);
+  let h = Histogram.create () in
+  for i = 1 to 10 do
+    Histogram.add h (float_of_int i)
+  done;
+  check (Alcotest.float 0.0) "p0 is min" 1.0 (Histogram.percentile h 0.0);
+  check (Alcotest.float 0.0) "p100 is max" 10.0 (Histogram.percentile h 100.0);
+  check (Alcotest.float 0.0) "p99.9 is max" 10.0 (Histogram.percentile h 99.9);
+  check (Alcotest.float 0.0) "p10 rank-1" 1.0 (Histogram.percentile h 10.0);
+  check (Alcotest.float 0.0) "p11 rank-2" 2.0 (Histogram.percentile h 11.0)
+
+(* the sort must cover only the live prefix: after growth past the initial
+   capacity, stale slots beyond [len] must never leak into percentiles *)
+let test_histogram_growth_sort () =
+  let h = Histogram.create () in
+  (* descending insert forces worst-case ordering across growth *)
+  let n = 200 in
+  for i = n downto 1 do
+    Histogram.add h (float_of_int i);
+    if i mod 17 = 0 then ignore (Histogram.median h)
+  done;
+  check (Alcotest.float 0.0) "min" 1.0 (Histogram.min_value h);
+  check (Alcotest.float 0.0) "max" 200.0 (Histogram.max_value h);
+  check (Alcotest.float 0.0) "p50" 100.0 (Histogram.percentile h 50.0);
+  check (Alcotest.float 0.0) "p90" 180.0 (Histogram.percentile h 90.0);
+  check Alcotest.int "count" n (Histogram.count h)
+
 (* ---------- LRU ---------- *)
 
 let test_lru_basic () =
@@ -304,6 +338,10 @@ let () =
           Alcotest.test_case "empty" `Quick test_histogram_empty;
           Alcotest.test_case "interleaved" `Quick
             test_histogram_interleaved_sorting;
+          Alcotest.test_case "nearest-rank edges" `Quick
+            test_histogram_percentile_edges;
+          Alcotest.test_case "growth keeps sort live-only" `Quick
+            test_histogram_growth_sort;
         ] );
       ( "lru",
         [
