@@ -20,7 +20,7 @@ let engine_of_string = function
   | "wiredtiger" -> Ok Pdb_harness.Stores.Wiredtiger
   | s -> Error (Printf.sprintf "unknown store %S" s)
 
-let run store_name benchmarks num value_size seed clients trace_file =
+let run store_name benchmarks num value_size seed clients shards trace_file =
   match engine_of_string store_name with
   | Error msg ->
     prerr_endline msg;
@@ -30,7 +30,24 @@ let run store_name benchmarks num value_size seed clients trace_file =
     (match trace_file with
      | Some _ -> Env.set_tracer env (Pdb_simio.Trace.create ())
      | None -> ());
-    let store = Pdb_harness.Stores.open_engine ~env engine in
+    (* --shards routes the store through the range partitioner with splits
+       matched to the bench keyspace (key%010d over [0, num)) *)
+    let tweak o =
+      if shards <= 1 then o
+      else
+        {
+          o with
+          Pdb_kvs.Options.shards;
+          shard_splits =
+            List.init (shards - 1) (fun i ->
+                B.key_of ((i + 1) * num / shards));
+        }
+    in
+    let store =
+      Pdb_harness.Stores.open_engine ~tweak ~env
+        ?shards:(if shards > 1 then Some shards else None)
+        engine
+    in
     let report name (p : B.phase) =
       Printf.printf "%-14s : %8.1f KOps/s  (%d ops, %.1f MB written, %.1f MB read)\n%!"
         name p.B.kops p.B.ops (B.mb p.B.bytes_written) (B.mb p.B.bytes_read)
@@ -208,6 +225,13 @@ let clients_arg =
                  readrandom / mixed (round-robin interleave, WAL group \
                  commit); 1 = serial.")
 
+let shards_arg =
+  Arg.(value & opt int 1
+       & info [ "shards" ]
+           ~doc:"Range-partition the keyspace over N independent engine \
+                 instances (each with its own WAL, memtable and compaction \
+                 scheduler); 1 = plain single store.")
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -219,6 +243,6 @@ let cmd =
   Cmd.v
     (Cmd.info "db_bench" ~doc:"Micro-benchmarks over the simulated stores")
     Term.(const run $ store_arg $ benchmarks_arg $ num_arg $ value_size_arg
-          $ seed_arg $ clients_arg $ trace_arg)
+          $ seed_arg $ clients_arg $ shards_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

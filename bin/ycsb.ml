@@ -16,7 +16,15 @@ let engine_of_string = function
   | "wiredtiger" -> Some Pdb_harness.Stores.Wiredtiger
   | _ -> None
 
-let run store_name workloads records ops value_size clients trace_file =
+(* YCSB keys are "user%016Lx" of a uniform 64-bit hash, so fixed-width hex
+   ordering equals unsigned numeric ordering: evenly spaced splits are the
+   hex keys at fractions i/N of the unsigned 64-bit space. *)
+let ycsb_splits shards =
+  let step = Int64.unsigned_div Int64.minus_one (Int64.of_int shards) in
+  List.init (shards - 1) (fun i ->
+      Printf.sprintf "user%016Lx" (Int64.mul step (Int64.of_int (i + 1))))
+
+let run store_name workloads records ops value_size clients shards trace_file =
   match engine_of_string store_name with
   | None ->
     prerr_endline ("unknown store " ^ store_name);
@@ -26,7 +34,16 @@ let run store_name workloads records ops value_size clients trace_file =
     (match trace_file with
      | Some _ -> Env.set_tracer env (Pdb_simio.Trace.create ())
      | None -> ());
-    let store = Pdb_harness.Stores.open_engine ~env engine in
+    let tweak o =
+      if shards <= 1 then o
+      else
+        { o with Pdb_kvs.Options.shards; shard_splits = ycsb_splits shards }
+    in
+    let store =
+      Pdb_harness.Stores.open_engine ~tweak ~env
+        ?shards:(if shards > 1 then Some shards else None)
+        engine
+    in
     (* clients=0 keeps the legacy serial measurement path *)
     let clients = if clients <= 0 then None else Some clients in
     let report (r : Pdb_ycsb.Runner.result) =
@@ -96,6 +113,12 @@ let clients_arg =
            ~doc:"Foreground client lanes (round-robin, WAL group commit); \
                  0 = legacy serial measurement.")
 
+let shards_arg =
+  Arg.(value & opt int 1
+       & info [ "shards" ]
+           ~doc:"Range-partition the keyspace over N independent engine \
+                 instances; 1 = plain single store.")
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -106,6 +129,6 @@ let trace_arg =
 let cmd =
   Cmd.v (Cmd.info "ycsb" ~doc:"YCSB benchmark over the simulated stores")
     Term.(const run $ store_arg $ workloads_arg $ records_arg $ ops_arg
-          $ value_size_arg $ clients_arg $ trace_arg)
+          $ value_size_arg $ clients_arg $ shards_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

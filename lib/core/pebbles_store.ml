@@ -934,7 +934,7 @@ let relog_memtable wal mem =
     Wal.Writer.sync wal
   end
 
-let open_store (opts : O.t) ~env ~dir =
+let open_store ?block_cache (opts : O.t) ~env ~dir =
   let levels = Array.init opts.O.max_levels (fun _ -> Guard.create_level ()) in
   let committed = Array.init opts.O.max_levels (fun _ -> Hashtbl.create 64) in
   let l0 = ref [] in
@@ -1007,7 +1007,10 @@ let open_store (opts : O.t) ~env ~dir =
         Pdb_sstable.Table_cache.create env ~dir
           ~entries:opts.O.table_cache_entries;
       block_cache =
-        Pdb_sstable.Block_cache.create ~capacity:opts.O.block_cache_bytes;
+        (match block_cache with
+         | Some cache -> cache  (* shared with the caller's other shards *)
+         | None ->
+           Pdb_sstable.Block_cache.create ~capacity:opts.O.block_cache_bytes);
       mem;
       wal;
       wal_number = new_log;
@@ -1075,6 +1078,10 @@ let stats t =
   st.Stats.stall_slowdown_ns <- s.Scheduler.stall_slowdown_ns;
   st.Stats.stall_stop_ns <- s.Scheduler.stall_stop_ns;
   st.Stats.worker_busy_ns <- Scheduler.busy_ns t.sched;
+  st.Stats.block_cache_hits <- Pdb_sstable.Block_cache.hits t.block_cache;
+  st.Stats.block_cache_misses <- Pdb_sstable.Block_cache.misses t.block_cache;
+  st.Stats.table_cache_hits <- Pdb_sstable.Table_cache.hits t.table_cache;
+  st.Stats.table_cache_misses <- Pdb_sstable.Table_cache.misses t.table_cache;
   st
 
 (* ---------- writes ---------- *)

@@ -19,8 +19,14 @@ type t
 (** [open_store options ~env ~dir] opens (creating or recovering) a store
     rooted at simulated directory prefix [dir].  Recovery replays the
     MANIFEST's version edits — including guard metadata (§4.3.1) — then
-    the WAL. *)
-val open_store : Pdb_kvs.Options.t -> env:Pdb_simio.Env.t -> dir:string -> t
+    the WAL.  [?block_cache] substitutes a caller-owned (typically
+    shard-shared) block cache for the store's private one. *)
+val open_store :
+  ?block_cache:Pdb_sstable.Block_cache.t ->
+  Pdb_kvs.Options.t ->
+  env:Pdb_simio.Env.t ->
+  dir:string ->
+  t
 
 (** [close t] releases the store.  Unsynced WAL data remains volatile, as
     in the real system. *)

@@ -54,9 +54,21 @@ let gen_trace ~seed ~ops ~keyspace =
 
 (* Durability profile for the sweep: acked writes are synced (so the
    oracle may demand them back) and the memtable is small enough that a
-   short trace crosses flush/compaction machinery many times. *)
-let tweak (o : O.t) =
-  { o with O.memtable_bytes = 2048; wal_sync_writes = true }
+   short trace crosses flush/compaction machinery many times.  With
+   [shards > 1] the same trace runs against the range-partitioned store
+   (lib/shard): the crash then lands inside ONE shard's flush/compaction/
+   WAL machinery while the other shards idle, and recovery must bring the
+   whole store back to the oracle. *)
+let tweak ~shards ~keyspace (o : O.t) =
+  let o = { o with O.memtable_bytes = 2048; wal_sync_writes = true } in
+  if shards <= 1 then o
+  else
+    {
+      o with
+      O.shards;
+      shard_splits =
+        List.init (shards - 1) (fun i -> key ((i + 1) * keyspace / shards));
+    }
 
 let apply (db : Dyn.dyn) = function
   | Put (k, v) -> db.Dyn.d_put k v
@@ -87,11 +99,11 @@ let run_trace db oracle trace =
 (** [count_events engine ~seed ~trace] runs the whole trace under a plan
     that never fires, counting every IO event — the number of distinct
     crash points the sweep can target. *)
-let count_events engine ~seed ~trace =
+let count_events ?(shards = 1) ?(keyspace = 48) engine ~seed ~trace =
   let env = Env.create () in
   let plan = Env.Fault_plan.create ~seed ~crash_after:max_int () in
   Env.set_fault_plan env plan;
-  let db = Stores.open_engine ~tweak ~env engine in
+  let db = Stores.open_engine ~tweak:(tweak ~shards ~keyspace) ~env engine in
   let oracle = Hashtbl.create 64 in
   (match run_trace db oracle trace with
    | None -> ()
@@ -167,13 +179,15 @@ type result = {
   failures : (int * string) list;  (** (crash point, what went wrong) *)
 }
 
-(** [run ?seed ?ops ?keyspace ?max_points engine] sweeps crash points
-    across the trace and verifies recovery at each.  [max_points] bounds
-    the sweep (evenly strided across all events). *)
+(** [run ?seed ?ops ?keyspace ?max_points ?shards engine] sweeps crash
+    points across the trace and verifies recovery at each.  [max_points]
+    bounds the sweep (evenly strided across all events); [shards > 1]
+    runs the trace against the range-partitioned store. *)
 let run ?(seed = 0xFA17) ?(ops = 140) ?(keyspace = 48) ?(max_points = 64)
-    engine =
+    ?(shards = 1) engine =
+  let tweak = tweak ~shards ~keyspace in
   let trace = gen_trace ~seed ~ops ~keyspace in
-  let total_events = count_events engine ~seed ~trace in
+  let total_events = count_events ~shards ~keyspace engine ~seed ~trace in
   let stride = max 1 (total_events / max_points) in
   let crash_points = ref 0 in
   let double_crashes = ref 0 in
@@ -241,7 +255,9 @@ let run ?(seed = 0xFA17) ?(ops = 140) ?(keyspace = 48) ?(max_points = 64)
     n := !n + stride
   done;
   {
-    engine = Stores.engine_name engine;
+    engine =
+      Stores.engine_name engine
+      ^ (if shards > 1 then Printf.sprintf " x%d shards" shards else "");
     total_events;
     crash_points = !crash_points;
     double_crashes = !double_crashes;

@@ -1067,6 +1067,128 @@ let run_latency_at ~n () =
 let run_latency () = run_latency_at ~n:n_medium ()
 let run_latency_smoke () = run_latency_at ~n:(n_medium / 5) ()
 
+(* ---------------- shard : range-partitioned scale-out ------------------ *)
+
+(* One level above the guards: the keyspace range-partitioned over N
+   complete engine instances (lib/shard), every engine behind the same
+   router.  The sweep runs shard counts x client counts for each engine.
+   Expected shape: at 4 clients, mixed throughput improves from 1 to 4
+   shards for every engine — each shard has its own memtable (N x buffer
+   before any flush), its own WAL writer queue, and its own compaction
+   scheduler whose worker lanes overlap with the other shards' — and
+   PebblesDB stays ahead of the leveled baselines at every shard count,
+   since within each shard its guard-parallel compaction still moves less
+   data.  The balance column is max/mean user bytes across shards (1.00 =
+   perfectly even splits).
+
+   The sweep runs the default durability profile (no per-commit sync).
+   Under [wal_sync_writes] sharding carries a real tradeoff: each lane
+   commit group splits into per-shard groups with their own WAL sync, so
+   a group of 4 batches that cost one sync on a single store costs up to
+   4 across shards — group-commit amortization and shard parallelism
+   pull in opposite directions (see the mt experiment for the sync-bound
+   regime). *)
+
+(* Explicit splits for the bench keyspace: B.key_of covers [0, n), so the
+   uniform byte-interpolated defaults (which split the full byte space)
+   would park every "key..." key in one shard. *)
+let shard_splits_for ~n ~shards =
+  List.init (shards - 1) (fun i -> B.key_of ((i + 1) * n / shards))
+
+let run_shard_at ~n () =
+  let shard_counts = [ 1; 2; 4; 8 ] in
+  let client_counts = [ 1; 4 ] in
+  let results =
+    List.map
+      (fun engine ->
+        let name = Stores.engine_name engine in
+        let per =
+          List.concat_map
+            (fun shards ->
+              let tweak o =
+                { o with O.shards; shard_splits = shard_splits_for ~n ~shards }
+              in
+              List.map
+                (fun clients ->
+                  let sh = Stores.open_sharded ~tweak engine in
+                  let store = sh.Stores.s_dyn in
+                  let fill, _ =
+                    B.mc_fill_random store ~clients ~n ~value_bytes:value_1k
+                      ~seed
+                  in
+                  let mixed, _ =
+                    B.mc_mixed store ~clients ~n ~ops:(n / 2)
+                      ~value_bytes:value_1k ~seed
+                  in
+                  let st = store.Dyn.d_stats () in
+                  let balance = st.Pdb_kvs.Engine_stats.shard_balance in
+                  store.Dyn.d_close ();
+                  B.Json.metric ~store:name
+                    (Printf.sprintf "write_kops_%ds_%dc" shards clients)
+                    fill.B.kops;
+                  B.Json.metric ~store:name
+                    (Printf.sprintf "mixed_kops_%ds_%dc" shards clients)
+                    mixed.B.kops;
+                  if clients = List.hd client_counts then
+                    B.Json.metric ~store:name
+                      (Printf.sprintf "balance_%ds" shards)
+                      balance;
+                  (shards, clients, fill, mixed, balance))
+                client_counts)
+            shard_counts
+        in
+        (name, per))
+      Stores.paper_stores
+  in
+  let cell per ~shards ~clients pick =
+    let _, _, fill, mixed, _ =
+      List.find (fun (s, c, _, _, _) -> s = shards && c = clients) per
+    in
+    (pick (fill, mixed)).B.kops
+  in
+  let kops_table title clients pick =
+    B.print_table ~title
+      ~header:
+        ([ "store" ]
+        @ List.map (fun s -> Printf.sprintf "%ds KOps/s" s) shard_counts
+        @ [ "4s/1s" ])
+      (List.map
+         (fun (name, per) ->
+           let at shards = cell per ~shards ~clients pick in
+           [ name ]
+           @ List.map (fun s -> B.fmt_f ~digits:1 (at s)) shard_counts
+           @ [ B.fmt_f (rel (at 1) (at 4)) ])
+         results)
+  in
+  kops_table "Sharded write-only, 4 clients (random fill)" 4 (fun (f, _) -> f);
+  kops_table "Sharded mixed 50/50, 4 clients" 4 (fun (_, m) -> m);
+  kops_table "Sharded mixed 50/50, 1 client" 1 (fun (_, m) -> m);
+  B.print_table ~title:"Shard balance (max/mean user bytes written per shard)"
+    ~header:
+      ([ "store" ] @ List.map (fun s -> Printf.sprintf "%ds" s) shard_counts)
+    (List.map
+       (fun (name, per) ->
+         [ name ]
+         @ List.map
+             (fun shards ->
+               let _, _, _, _, balance =
+                 List.find (fun (s, c, _, _, _) -> s = shards && c = 1) per
+               in
+               B.fmt_f balance)
+             shard_counts)
+       results);
+  (* the acceptance shape, stated explicitly *)
+  List.iter
+    (fun (name, per) ->
+      let m shards = cell per ~shards ~clients:4 (fun (_, m) -> m) in
+      pf "  %s: mixed 1->4 shards at 4 clients %.1f -> %.1f KOps/s (%.2fx)\n"
+        name (m 1) (m 4)
+        (rel (m 1) (m 4)))
+    results
+
+let run_shard () = run_shard_at ~n:n_medium ()
+let run_shard_smoke () = run_shard_at ~n:(n_medium / 5) ()
+
 (* ---------------- registry ---------------------------------------------- *)
 
 let all : experiment list =
@@ -1097,6 +1219,10 @@ let all : experiment list =
       run = run_latency };
     { id = "latency-smoke"; title = "Latency percentiles (reduced scale)";
       run = run_latency_smoke };
+    { id = "shard"; title = "Range-partitioned shards (scale-out)";
+      run = run_shard };
+    { id = "shard-smoke"; title = "Range-partitioned shards (reduced scale)";
+      run = run_shard_smoke };
     { id = "future"; title = "Future-work features (ch. 7)";
       run = run_future_work };
   ]

@@ -1,11 +1,15 @@
 (** Store factory: every engine of the evaluation, packaged uniformly.
 
     Each store runs in its own simulated environment (device, clock, IO
-    counters), so per-store measurements never interfere. *)
+    counters), so per-store measurements never interfere.  Any engine can
+    additionally be opened {e sharded}: N independent instances behind a
+    range router ({!Pdb_shard.Shard_store}), living under [db/shards/<i>/]
+    in the one environment. *)
 
 module Dyn = Pdb_kvs.Store_intf
 module O = Pdb_kvs.Options
 module Env = Pdb_simio.Env
+module Shard = Pdb_shard.Shard_store
 
 type engine =
   | Pebblesdb
@@ -35,42 +39,164 @@ let default_options = function
   | Btree -> { (O.leveldb ()) with O.name = "kyotocabinet-sim" }
   | Wiredtiger -> { (O.leveldb ()) with O.name = "wiredtiger-sim" }
 
-(** [open_engine ?tweak ?env engine] opens a fresh store.  [tweak] edits the
-    profile (experiment-specific sizes); [env] reuses an existing
-    environment (reopen scenarios). *)
-let open_engine ?(tweak = Fun.id) ?env engine =
+(* ---------- shard-aware engine adapters ---------- *)
+
+(* Each adapter fixes the engines' optional arguments to match
+   {!Dyn.S} and supplies the fenced-read surface the shard store
+   needs.  The page stores have no snapshots: their fenced reads read
+   current state, which the serial simulation makes equivalent as long
+   as no writes intervene. *)
+
+module Pebbles_engine = struct
+  include Pebblesdb.Pebbles_store
+
+  let open_store opts ~env ~dir = open_store opts ~env ~dir
+  let get t k = get t k
+  let iterator t = iterator t
+
+  let open_shard opts ~env ~dir ~shared_block_cache =
+    Pebblesdb.Pebbles_store.open_store ?block_cache:shared_block_cache opts
+      ~env ~dir
+
+  let get_at t ~snapshot k = Pebblesdb.Pebbles_store.get ~snapshot t k
+  let iterator_at t ~snapshot = Pebblesdb.Pebbles_store.iterator ~snapshot t
+end
+
+module Lsm_engine = struct
+  include Pdb_lsm.Lsm_store
+
+  let open_store opts ~env ~dir = open_store opts ~env ~dir
+  let get t k = get t k
+  let iterator t = iterator t
+
+  let open_shard opts ~env ~dir ~shared_block_cache =
+    Pdb_lsm.Lsm_store.open_store ?block_cache:shared_block_cache opts ~env
+      ~dir
+
+  let get_at t ~snapshot k = Pdb_lsm.Lsm_store.get ~snapshot t k
+  let iterator_at t ~snapshot = Pdb_lsm.Lsm_store.iterator ~snapshot t
+end
+
+module Btree_engine = struct
+  include Pdb_btree.Bptree
+
+  (* fix the optional [?mode] so the module matches Store_intf.S *)
+  let open_store opts ~env ~dir = open_store opts ~env ~dir
+  let open_shard opts ~env ~dir ~shared_block_cache:_ = open_store opts ~env ~dir
+  let snapshot _ = 0
+  let release_snapshot _ _ = ()
+  let get_at t ~snapshot:_ k = get t k
+  let iterator_at t ~snapshot:_ = iterator t
+end
+
+module Wt_engine = struct
+  include Pdb_btree.Wt_store
+
+  let open_shard opts ~env ~dir ~shared_block_cache:_ = open_store opts ~env ~dir
+  let snapshot _ = 0
+  let release_snapshot _ _ = ()
+  let get_at t ~snapshot:_ k = get t k
+  let iterator_at t ~snapshot:_ = iterator t
+end
+
+module Sharded_pebbles = Shard.Make (Pebbles_engine)
+module Sharded_lsm = Shard.Make (Lsm_engine)
+module Sharded_btree = Shard.Make (Btree_engine)
+module Sharded_wt = Shard.Make (Wt_engine)
+
+(** A sharded store with its shard-level surface exposed for tests and
+    experiments: routing, per-shard iteration, snapshot fences (None for
+    the page stores, which have no snapshots) and the shared block
+    cache's true counters. *)
+type sharded = {
+  s_dyn : Dyn.dyn;
+  s_shards : int;
+  s_shard_of_key : string -> int;
+  s_shard_iter : int -> Pdb_kvs.Iter.t;  (** one shard's database iterator *)
+  s_snapshot : (unit -> int) option;  (** pin a cross-shard fence *)
+  s_release : int -> unit;
+  s_get_at : (int -> string -> string option) option;
+  s_iter_at : (int -> Pdb_kvs.Iter.t) option;
+  s_cache_counters : unit -> (int * int) option;
+      (** (hits, misses) of the one shared block cache, when sharing *)
+}
+
+let make_sharded (type a) (module E : Shard.ENGINE with type t = a)
+    ~snapshots opts ~env ~dir =
+  let module S = Shard.Make (E) in
+  let t = S.open_store opts ~env ~dir in
+  {
+    s_dyn = Dyn.dyn_of (module S) t;
+    s_shards = S.shard_count t;
+    s_shard_of_key = S.shard_of_key t;
+    s_shard_iter = (fun i -> E.iterator (S.shard_stores t).(i));
+    s_snapshot = (if snapshots then Some (fun () -> S.snapshot t) else None);
+    s_release = S.release_snapshot t;
+    s_get_at =
+      (if snapshots then Some (fun snap k -> S.get_at t ~snapshot:snap k)
+       else None);
+    s_iter_at =
+      (if snapshots then Some (fun snap -> S.iterator_at t ~snapshot:snap)
+       else None);
+    s_cache_counters =
+      (fun () ->
+        Option.map
+          (fun c ->
+            (Pdb_sstable.Block_cache.hits c, Pdb_sstable.Block_cache.misses c))
+          (S.shared_block_cache t));
+  }
+
+(** [open_sharded ?tweak ?env ?shards engine] opens [engine] behind the
+    range-partitioned shard store.  [shards] overrides the profile's
+    [O.shards]; split points come from [O.shard_splits] (uniform
+    byte-interpolated splits when unset — workloads with a common key
+    prefix should set explicit splits). *)
+let open_sharded ?(tweak = Fun.id) ?env ?shards engine =
   let opts = tweak (default_options engine) in
+  let opts =
+    match shards with
+    | Some n -> { opts with O.shards = max 1 n }
+    | None -> opts
+  in
   let env = match env with Some e -> e | None -> Env.create () in
   let dir = "db" in
   match engine with
   | Pebblesdb | Pebblesdb_one ->
-    let module P = struct
-      include Pebblesdb.Pebbles_store
-
-      (* fix the optional [?snapshot] so the module matches Store_intf.S *)
-      let get t k = get t k
-      let iterator t = iterator t
-    end in
-    Dyn.dyn_of (module P) (P.open_store opts ~env ~dir)
+    make_sharded (module Pebbles_engine) ~snapshots:true opts ~env ~dir
   | Hyperleveldb | Leveldb | Rocksdb ->
-    let module L = struct
-      include Pdb_lsm.Lsm_store
-
-      let get t k = get t k
-      let iterator t = iterator t
-    end in
-    Dyn.dyn_of (module L) (L.open_store opts ~env ~dir)
-  | Btree ->
-    let module B = struct
-      include Pdb_btree.Bptree
-
-      (* fix the optional [?mode] so the module matches Store_intf.S *)
-      let open_store opts ~env ~dir = open_store opts ~env ~dir
-    end in
-    Dyn.dyn_of (module B) (B.open_store opts ~env ~dir)
+    make_sharded (module Lsm_engine) ~snapshots:true opts ~env ~dir
+  | Btree -> make_sharded (module Btree_engine) ~snapshots:false opts ~env ~dir
   | Wiredtiger ->
-    Dyn.dyn_of (module Pdb_btree.Wt_store)
-      (Pdb_btree.Wt_store.open_store opts ~env ~dir)
+    make_sharded (module Wt_engine) ~snapshots:false opts ~env ~dir
+
+(** [open_engine ?tweak ?env ?shards engine] opens a fresh store.  [tweak]
+    edits the profile (experiment-specific sizes); [env] reuses an
+    existing environment (reopen scenarios).  [shards] — or a [tweak]
+    setting [O.shards] above 1 — routes the store through the shard
+    layer; [~shards:(Some 1)] exercises the shard layer with a single
+    shard. *)
+let open_engine ?(tweak = Fun.id) ?env ?shards engine =
+  let sharded_via_opts =
+    shards = None && (tweak (default_options engine)).O.shards > 1
+  in
+  if shards <> None || sharded_via_opts then
+    (open_sharded ~tweak ?env ?shards engine).s_dyn
+  else begin
+    let opts = tweak (default_options engine) in
+    let env = match env with Some e -> e | None -> Env.create () in
+    let dir = "db" in
+    match engine with
+    | Pebblesdb | Pebblesdb_one ->
+      Dyn.dyn_of
+        (module Pebbles_engine)
+        (Pebbles_engine.open_store opts ~env ~dir)
+    | Hyperleveldb | Leveldb | Rocksdb ->
+      Dyn.dyn_of (module Lsm_engine) (Lsm_engine.open_store opts ~env ~dir)
+    | Btree ->
+      Dyn.dyn_of (module Btree_engine) (Btree_engine.open_store opts ~env ~dir)
+    | Wiredtiger ->
+      Dyn.dyn_of (module Wt_engine) (Wt_engine.open_store opts ~env ~dir)
+  end
 
 (** The four key-value stores of the paper's main comparisons. *)
 let paper_stores = [ Pebblesdb; Hyperleveldb; Leveldb; Rocksdb ]

@@ -62,6 +62,20 @@ type t = {
   mutable client_wait_ns : float array;
       (** per-client foreground blocked time (device contention + waiting
           on a group leader), set by the multi-client driver *)
+  (* cache effectiveness, mirrored from the block/table caches on every
+     stats read.  NOTE: when several shards share one cache, each shard
+     mirrors the *same* underlying counters — aggregation must count them
+     once (see {!aggregate}). *)
+  mutable block_cache_hits : int;
+  mutable block_cache_misses : int;
+  mutable table_cache_hits : int;
+  mutable table_cache_misses : int;
+  (* sharding breakdown, set by the shard store's aggregation *)
+  mutable shards : int;  (** engine instances behind this stats record *)
+  mutable shard_user_bytes : int array;
+      (** user payload routed to each shard *)
+  mutable shard_balance : float;
+      (** max/mean of per-shard user write bytes — 1.0 is perfectly even *)
 }
 
 let bump_breakdown t category bytes =
@@ -111,7 +125,105 @@ let create () =
     write_group_batches = 0;
     group_syncs_saved = 0;
     client_wait_ns = [||];
+    block_cache_hits = 0;
+    block_cache_misses = 0;
+    table_cache_hits = 0;
+    table_cache_misses = 0;
+    shards = 1;
+    shard_user_bytes = [||];
+    shard_balance = 1.0;
   }
+
+(** [aggregate ~shared_cache per_shard] combines the stats of independent
+    shard engines into one record: counters and stall times sum,
+    per-worker busy arrays concatenate (every shard's scheduler lanes are
+    distinct workers), write-breakdown categories merge, and scheduler
+    peaks take the max across shards (each peak is a per-scheduler
+    watermark; summing watermarks reached at different times would
+    overstate the queue that ever existed at once).
+
+    Cache counters are the exception: with [shared_cache] every shard
+    mirrors the {e same} block-cache counters, so they are taken once —
+    summing them would multiply every hit by the shard count.  Table
+    caches are always per-shard (their keys are per-shard file numbers)
+    and therefore always sum.
+
+    [shards], [shard_user_bytes] and [shard_balance] describe the
+    breakdown; [client_wait_ns] is owned by the multi-client driver and
+    left empty here. *)
+let aggregate ~shared_cache per_shard =
+  let t = create () in
+  let shard_bytes =
+    Array.of_list (List.map (fun s -> s.user_bytes_written) per_shard)
+  in
+  List.iter
+    (fun s ->
+      t.user_bytes_written <- t.user_bytes_written + s.user_bytes_written;
+      t.flushes <- t.flushes + s.flushes;
+      t.compactions <- t.compactions + s.compactions;
+      t.compaction_bytes_read <-
+        t.compaction_bytes_read + s.compaction_bytes_read;
+      t.compaction_bytes_written <-
+        t.compaction_bytes_written + s.compaction_bytes_written;
+      t.sstables_built <- t.sstables_built + s.sstables_built;
+      t.gets <- t.gets + s.gets;
+      t.puts <- t.puts + s.puts;
+      t.deletes <- t.deletes + s.deletes;
+      t.seeks <- t.seeks + s.seeks;
+      t.nexts <- t.nexts + s.nexts;
+      t.sstables_examined <- t.sstables_examined + s.sstables_examined;
+      t.bloom_checks <- t.bloom_checks + s.bloom_checks;
+      t.bloom_negative <- t.bloom_negative + s.bloom_negative;
+      t.write_stalls <- t.write_stalls + s.write_stalls;
+      t.guards_committed <- t.guards_committed + s.guards_committed;
+      t.guards_empty <- t.guards_empty + s.guards_empty;
+      t.seek_compactions <- t.seek_compactions + s.seek_compactions;
+      List.iter
+        (fun (category, bytes) -> bump_breakdown t category bytes)
+        s.write_breakdown;
+      t.compaction_jobs <- t.compaction_jobs + s.compaction_jobs;
+      t.compaction_queue_peak <-
+        max t.compaction_queue_peak s.compaction_queue_peak;
+      t.compaction_backlog_peak_bytes <-
+        max t.compaction_backlog_peak_bytes s.compaction_backlog_peak_bytes;
+      t.compaction_serialized_jobs <-
+        t.compaction_serialized_jobs + s.compaction_serialized_jobs;
+      t.compaction_pending <- t.compaction_pending + s.compaction_pending;
+      t.compaction_backlog_bytes <-
+        t.compaction_backlog_bytes + s.compaction_backlog_bytes;
+      t.stall_slowdown_ns <- t.stall_slowdown_ns +. s.stall_slowdown_ns;
+      t.stall_stop_ns <- t.stall_stop_ns +. s.stall_stop_ns;
+      t.worker_busy_ns <- Array.append t.worker_busy_ns s.worker_busy_ns;
+      t.wal_records_recovered <-
+        t.wal_records_recovered + s.wal_records_recovered;
+      t.wal_bytes_dropped <- t.wal_bytes_dropped + s.wal_bytes_dropped;
+      t.wal_batches_rejected <-
+        t.wal_batches_rejected + s.wal_batches_rejected;
+      t.write_groups <- t.write_groups + s.write_groups;
+      t.write_group_batches <- t.write_group_batches + s.write_group_batches;
+      t.group_syncs_saved <- t.group_syncs_saved + s.group_syncs_saved;
+      (if shared_cache then begin
+         (* one cache behind every shard: mirrors are identical, count once *)
+         t.block_cache_hits <- max t.block_cache_hits s.block_cache_hits;
+         t.block_cache_misses <- max t.block_cache_misses s.block_cache_misses
+       end
+       else begin
+         t.block_cache_hits <- t.block_cache_hits + s.block_cache_hits;
+         t.block_cache_misses <- t.block_cache_misses + s.block_cache_misses
+       end);
+      t.table_cache_hits <- t.table_cache_hits + s.table_cache_hits;
+      t.table_cache_misses <- t.table_cache_misses + s.table_cache_misses)
+    per_shard;
+  t.shards <- List.length per_shard;
+  t.shard_user_bytes <- shard_bytes;
+  (let n = Array.length shard_bytes in
+   if n > 0 then begin
+     let total = Array.fold_left ( + ) 0 shard_bytes in
+     let mean = float_of_int total /. float_of_int n in
+     let mx = float_of_int (Array.fold_left max 0 shard_bytes) in
+     t.shard_balance <- (if total = 0 then 1.0 else mx /. mean)
+   end);
+  t
 
 let pp ppf t =
   Fmt.pf ppf

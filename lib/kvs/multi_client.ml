@@ -16,6 +16,14 @@
     commit: under load, every client has a write queued by the time the
     leader syncs, so the window always fills.
 
+    Sharded stores (lib/shard) fan each commit group out by key range:
+    one lane group becomes up to one engine-level group {e per shard},
+    each with its own coalesced append and sync on that shard's WAL.  So
+    against a sharded store the engine's [write_groups] counter can
+    exceed this driver's [lane_groups] (at most [shards x] it), while
+    store state stays byte-identical at any client count — the global
+    operation order is preserved within every shard.
+
     The reported elapsed time is
     [max(client-lane horizon, foreground device time + background
     horizon advance)]: a phase is bound by its slowest client, or by the

@@ -56,6 +56,15 @@ type t = {
   last_level_merge_io_factor : float;
       (** rewrite in second-highest level if merging costs this many times
           more IO (the paper's 25x heuristic) *)
+  (* range-partitioned sharding (the scale-out layer over any engine) *)
+  shards : int;  (** independent engine instances the keyspace splits over *)
+  shard_splits : string list;
+      (** [shards - 1] sorted split keys; shard [i] owns
+          [[split.(i-1), split.(i))].  When the list does not match the
+          shard count, uniform byte-interpolated splits are derived. *)
+  shard_share_block_cache : bool;
+      (** one block cache shared by every shard (memory stays at
+          [block_cache_bytes] total) instead of one cache per shard *)
   (* modeled CPU costs, ns (shared across engines) *)
   cpu_per_op_ns : float;
   cpu_per_sstable_ns : float;  (** examining one sstable (search/position) *)
@@ -99,6 +108,9 @@ let base =
     parallel_seeks = true;
     seek_based_compaction = true;
     last_level_merge_io_factor = 25.0;
+    shards = 1;
+    shard_splits = [];
+    shard_share_block_cache = true;
     cpu_per_op_ns = 1_000.0;
     cpu_per_sstable_ns = 5_000.0;
     cpu_per_block_search_ns = 1_000.0;

@@ -592,7 +592,7 @@ and maybe_compact t =
 
 (* ---------- open / close ---------- *)
 
-let open_store (opts : O.t) ~env ~dir =
+let open_store ?block_cache (opts : O.t) ~env ~dir =
   (* recover the previous shape before touching any file *)
   let levels = Array.make opts.O.max_levels [] in
   let wal_number = ref 0 and next_file = ref 1 and last_seq = ref 0 in
@@ -639,7 +639,10 @@ let open_store (opts : O.t) ~env ~dir =
         Pdb_sstable.Table_cache.create env ~dir
           ~entries:opts.O.table_cache_entries;
       block_cache =
-        Pdb_sstable.Block_cache.create ~capacity:opts.O.block_cache_bytes;
+        (match block_cache with
+         | Some cache -> cache  (* shared with the caller's other shards *)
+         | None ->
+           Pdb_sstable.Block_cache.create ~capacity:opts.O.block_cache_bytes);
       mem;
       wal;
       wal_number = new_log;
@@ -694,6 +697,14 @@ let stats t =
   st.Pdb_kvs.Engine_stats.stall_slowdown_ns <- s.Scheduler.stall_slowdown_ns;
   st.Pdb_kvs.Engine_stats.stall_stop_ns <- s.Scheduler.stall_stop_ns;
   st.Pdb_kvs.Engine_stats.worker_busy_ns <- Scheduler.busy_ns t.sched;
+  st.Pdb_kvs.Engine_stats.block_cache_hits <-
+    Pdb_sstable.Block_cache.hits t.block_cache;
+  st.Pdb_kvs.Engine_stats.block_cache_misses <-
+    Pdb_sstable.Block_cache.misses t.block_cache;
+  st.Pdb_kvs.Engine_stats.table_cache_hits <-
+    Pdb_sstable.Table_cache.hits t.table_cache;
+  st.Pdb_kvs.Engine_stats.table_cache_misses <-
+    Pdb_sstable.Table_cache.misses t.table_cache;
   st
 
 (* ---------- writes ---------- *)

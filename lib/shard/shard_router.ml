@@ -1,0 +1,142 @@
+(** Range partitioning of the keyspace over N shards.
+
+    The router is the one-level-up analogue of the paper's guards: where
+    FLSM spreads compaction work across independent key ranges inside one
+    store, the router spreads {e entire stores} across independent key
+    ranges — each shard owns a contiguous slice of the keyspace and runs
+    its own WAL, memtable, levels and compaction scheduler, so foreground
+    and background work from different shards overlap.
+
+    Routing rule: [shards - 1] sorted split keys partition the key space;
+    shard [i] owns the half-open range [[split.(i-1), split.(i))], with
+    shard [0] unbounded below and the last shard unbounded above.  A key
+    routes to the number of splits [<=] it — a binary search, so routing
+    is O(log shards) and deterministic: the same key always lands on the
+    same shard, which is what makes per-shard recovery and the
+    differential tests possible. *)
+
+type t = { splits : string array }
+
+(** [create ~splits] builds a router from sorted, strictly increasing
+    split keys ([n - 1] splits make [n] shards; [[]] is a single shard).
+    @raise Invalid_argument when the splits are not strictly increasing. *)
+let create ~splits =
+  let splits = Array.of_list splits in
+  Array.iteri
+    (fun i s ->
+      if i > 0 && String.compare splits.(i - 1) s >= 0 then
+        invalid_arg
+          (Printf.sprintf "Shard_router.create: splits not increasing (%S >= %S)"
+             splits.(i - 1) s))
+    splits;
+  { splits }
+
+let shards t = Array.length t.splits + 1
+let splits t = Array.to_list t.splits
+
+(** [shard_of_key t key] is the shard owning [key]: the count of splits
+    [<= key]. *)
+let shard_of_key t key =
+  let lo = ref 0 and hi = ref (Array.length t.splits) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare t.splits.(mid) key <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(** [range_of_shard t i] is shard [i]'s half-open range
+    [(lo inclusive, hi exclusive)]; [None] means unbounded. *)
+let range_of_shard t i =
+  let n = shards t in
+  if i < 0 || i >= n then invalid_arg "Shard_router.range_of_shard";
+  ( (if i = 0 then None else Some t.splits.(i - 1)),
+    if i = n - 1 then None else Some t.splits.(i) )
+
+(** [owns t i key] is true when shard [i]'s range contains [key]. *)
+let owns t i key =
+  let lo, hi = range_of_shard t i in
+  (match lo with None -> true | Some l -> String.compare l key <= 0)
+  && match hi with None -> true | Some h -> String.compare key h < 0
+
+(* Interpolation window: the longest common prefix of [lo] and [hi] is
+   carried verbatim, and the next [frac_bytes] bytes are read as a
+   48-bit big-endian integer — exact arithmetic, so bounds differing
+   only deep into a shared prefix still interpolate cleanly (a float
+   mantissa would swallow the difference). *)
+let frac_bytes = 6
+
+(** [uniform ~shards ?lo ?hi ()] derives evenly spaced splits by
+    interpolating the byte space between [lo] (default the empty key) and
+    [hi] (default the top of the byte space): their common prefix is
+    kept, the following bytes are interpolated as base-256 integers.
+    Even spacing is in {e byte} space — keys drawn uniformly from
+    [[lo, hi)] as raw bytes balance perfectly, but structured keyspaces
+    (e.g. zero-padded decimals, which use only 10 of 256 byte values per
+    position) should pass explicit splits to {!create} instead. *)
+let uniform ~shards:n ?(lo = "") ?hi () =
+  if n < 1 then invalid_arg "Shard_router.uniform: shards < 1";
+  let prefix =
+    match hi with
+    | None -> 0
+    | Some h ->
+      let m = min (String.length lo) (String.length h) in
+      let i = ref 0 in
+      while !i < m && lo.[!i] = h.[!i] do
+        incr i
+      done;
+      !i
+  in
+  let value s =
+    let v = ref 0 in
+    for i = 0 to frac_bytes - 1 do
+      let b =
+        if prefix + i < String.length s then Char.code s.[prefix + i] else 0
+      in
+      v := (!v lsl 8) lor b
+    done;
+    !v
+  in
+  let vlo = value lo in
+  let vhi = match hi with None -> 1 lsl (8 * frac_bytes) | Some h -> value h in
+  if vhi <= vlo then invalid_arg "Shard_router.uniform: hi <= lo";
+  let key_of_value v =
+    let b = Bytes.create frac_bytes in
+    let v = ref v in
+    for i = frac_bytes - 1 downto 0 do
+      Bytes.set b i (Char.chr (!v land 0xff));
+      v := !v lsr 8
+    done;
+    String.sub lo 0 prefix ^ Bytes.to_string b
+  in
+  let splits =
+    List.init (n - 1) (fun j -> key_of_value (vlo + ((vhi - vlo) * (j + 1) / n)))
+  in
+  create ~splits
+
+let escape s =
+  String.concat ""
+    (List.init (String.length s) (fun i ->
+         let c = s.[i] in
+         if c >= ' ' && c <= '~' then String.make 1 c
+         else Printf.sprintf "\\x%02x" (Char.code c)))
+
+let describe t =
+  let n = shards t in
+  let range i =
+    let lo, hi = range_of_shard t i in
+    Printf.sprintf "[%s, %s)"
+      (match lo with None -> "-inf" | Some l -> escape l)
+      (match hi with None -> "+inf" | Some h -> escape h)
+  in
+  Printf.sprintf "%d shard%s: %s" n
+    (if n = 1 then "" else "s")
+    (String.concat " | " (List.init n range))
+
+(** Structural invariant: splits strictly increasing (checked on create,
+    re-checked here for the store's [check_invariants]). *)
+let check_invariants t =
+  Array.iteri
+    (fun i s ->
+      if i > 0 && String.compare t.splits.(i - 1) s >= 0 then
+        failwith "Shard_router: splits not strictly increasing")
+    t.splits

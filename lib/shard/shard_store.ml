@@ -1,0 +1,262 @@
+(** A range-partitioned store: N independent engine instances behind one
+    {!Pdb_kvs.Store_intf.S} face.
+
+    Each shard is a complete engine — its own WAL, MANIFEST, memtable,
+    block/table caches and compaction scheduler — living under
+    [<dir>/shards/<i>/] in the one shared environment, so all shards
+    contend for the same simulated device while their background worker
+    lanes overlap.  Point operations route by range
+    ({!Shard_router.shard_of_key}); write batches split into per-shard
+    sub-batches that commit through each shard's own WAL group commit;
+    cross-shard scans merge per-shard iterators positioned at a common
+    sequence fence; stats aggregate with a per-shard breakdown and a
+    balance metric.
+
+    Consistency note (the sequence fence): shard sequence numbers advance
+    independently, so "one moment in time" across shards is a vector of
+    per-shard sequence numbers captured back-to-back with no writes in
+    between — which the simulation's serial execution guarantees.  A
+    fence is captured before building any per-shard iterator, so a scan
+    never mixes states from different prefixes of the operation order;
+    {!Make.snapshot} pins a fence durably (each shard's snapshot is
+    acquired) for reads at an older prefix. *)
+
+module Dyn = Pdb_kvs.Store_intf
+module O = Pdb_kvs.Options
+module Stats = Pdb_kvs.Engine_stats
+module Iter = Pdb_kvs.Iter
+
+(** What the shard store needs from an engine: the uniform store surface
+    plus shard-aware opening (a shared block cache) and fenced reads.
+    Engines without snapshots (the page stores) satisfy the fenced reads
+    trivially — their adapters ignore the fence and read current state. *)
+module type ENGINE = sig
+  include Dyn.S
+
+  (** [open_shard opts ~env ~dir ~shared_block_cache] opens one shard;
+      [shared_block_cache] (when the profile shares one cache across
+      shards) replaces the engine's private block cache. *)
+  val open_shard :
+    Pdb_kvs.Options.t ->
+    env:Pdb_simio.Env.t ->
+    dir:string ->
+    shared_block_cache:Pdb_sstable.Block_cache.t option ->
+    t
+
+  val snapshot : t -> int
+  val release_snapshot : t -> int -> unit
+  val get_at : t -> snapshot:int -> string -> string option
+  val iterator_at : t -> snapshot:int -> Iter.t
+end
+
+module Make (E : ENGINE) = struct
+  type t = {
+    opts : O.t;
+    env : Pdb_simio.Env.t;
+    dir : string;
+    router : Shard_router.t;
+    shards : E.t array;
+    shared_cache : Pdb_sstable.Block_cache.t option;
+    mutable fences : (int * int array) list;
+        (** live snapshot fences: id -> per-shard pinned sequences *)
+    mutable next_fence : int;
+  }
+
+  let router t = t.router
+  let shard_stores t = t.shards
+  let shard_count t = Array.length t.shards
+  let shared_block_cache t = t.shared_cache
+  let shard_dir dir i = Printf.sprintf "%s/shards/%d" dir i
+
+  let open_store (opts : O.t) ~env ~dir =
+    let n = max 1 opts.O.shards in
+    let router =
+      if List.length opts.O.shard_splits = n - 1 then
+        Shard_router.create ~splits:opts.O.shard_splits
+      else Shard_router.uniform ~shards:n ()
+    in
+    let shared_cache =
+      if opts.O.shard_share_block_cache then
+        Some (Pdb_sstable.Block_cache.create ~capacity:opts.O.block_cache_bytes)
+      else None
+    in
+    let shards =
+      Array.init n (fun i ->
+          E.open_shard opts ~env ~dir:(shard_dir dir i)
+            ~shared_block_cache:shared_cache)
+    in
+    {
+      opts;
+      env;
+      dir;
+      router;
+      shards;
+      shared_cache;
+      fences = [];
+      next_fence = 1;
+    }
+
+  let close t = Array.iter E.close t.shards
+  let options t = t.opts
+  let env t = t.env
+  let shard_of_key t key = Shard_router.shard_of_key t.router key
+  let route t key = t.shards.(shard_of_key t key)
+
+  (* ---------- writes ---------- *)
+
+  let put t k v = E.put (route t k) k v
+  let delete t k = E.delete (route t k) k
+
+  (* Split one batch into per-shard sub-batches, preserving the in-batch
+     operation order within each shard.  Cross-shard atomicity matches
+     what a shard-per-process deployment gives: each shard's slice
+     commits atomically through that shard's WAL. *)
+  let split_batch t batch =
+    let n = Array.length t.shards in
+    let subs = Array.make n None in
+    let sub i =
+      match subs.(i) with
+      | Some b -> b
+      | None ->
+        let b = Pdb_kvs.Write_batch.create () in
+        subs.(i) <- Some b;
+        b
+    in
+    Pdb_kvs.Write_batch.iter batch (fun op ->
+        match op with
+        | Pdb_kvs.Write_batch.Put (k, v) ->
+          Pdb_kvs.Write_batch.put (sub (shard_of_key t k)) k v
+        | Pdb_kvs.Write_batch.Delete k ->
+          Pdb_kvs.Write_batch.delete (sub (shard_of_key t k)) k);
+    subs
+
+  let write t batch =
+    let subs = split_batch t batch in
+    Array.iteri
+      (fun i sub ->
+        match sub with None -> () | Some b -> E.write t.shards.(i) b)
+      subs
+
+  (* Group commit fans out per shard: every member batch contributes its
+     shard's slice, and each shard runs one group commit over the slices
+     it received — one coalesced WAL append and one sync per *shard*, the
+     multi-instance shape of LevelDB's writers queue. *)
+  let write_group t batches =
+    let n = Array.length t.shards in
+    let per_shard = Array.make n [] in
+    List.iter
+      (fun batch ->
+        let subs = split_batch t batch in
+        Array.iteri
+          (fun i sub ->
+            match sub with
+            | None -> ()
+            | Some b -> per_shard.(i) <- b :: per_shard.(i))
+          subs)
+      batches;
+    Array.iteri
+      (fun i subs ->
+        match List.rev subs with
+        | [] -> ()
+        | subs -> E.write_group t.shards.(i) subs)
+      per_shard
+
+  let flush t = Array.iter E.flush t.shards
+  let compact_all t = Array.iter E.compact_all t.shards
+
+  (* ---------- reads ---------- *)
+
+  let get t k = E.get (route t k) k
+
+  (* A back-to-back capture of every shard's current sequence — the
+     common fence all per-shard iterators read at. *)
+  let capture_fence t =
+    Array.map
+      (fun shard ->
+        let s = E.snapshot shard in
+        E.release_snapshot shard s;
+        s)
+      t.shards
+
+  let merged_iterator t seqs =
+    (* ranges are disjoint and shard order is key order, but the merge
+       keeps no cross-child assumptions — it simply always yields the
+       smallest current key *)
+    Pdb_kvs.Merging_iter.create ~compare:String.compare
+      (Array.to_list
+         (Array.mapi
+            (fun i shard -> E.iterator_at shard ~snapshot:seqs.(i))
+            t.shards))
+
+  let iterator t = merged_iterator t (capture_fence t)
+
+  (* ---------- snapshots (pinned fences) ---------- *)
+
+  let snapshot t =
+    let seqs = Array.map E.snapshot t.shards in
+    let id = t.next_fence in
+    t.next_fence <- id + 1;
+    t.fences <- (id, seqs) :: t.fences;
+    id
+
+  let fence_seqs t id =
+    match List.assoc_opt id t.fences with
+    | Some seqs -> seqs
+    | None -> invalid_arg "Shard_store: unknown snapshot fence"
+
+  let release_snapshot t id =
+    let seqs = fence_seqs t id in
+    Array.iteri (fun i s -> E.release_snapshot t.shards.(i) s) seqs;
+    t.fences <- List.filter (fun (id', _) -> id' <> id) t.fences
+
+  let get_at t ~snapshot k =
+    let seqs = fence_seqs t snapshot in
+    let i = shard_of_key t k in
+    E.get_at t.shards.(i) ~snapshot:seqs.(i) k
+
+  let iterator_at t ~snapshot = merged_iterator t (fence_seqs t snapshot)
+
+  (* ---------- introspection ---------- *)
+
+  let stats t =
+    let agg =
+      Stats.aggregate
+        ~shared_cache:(t.shared_cache <> None)
+        (Array.to_list (Array.map E.stats t.shards))
+    in
+    (* with one shared cache every shard already mirrors the same global
+       counters; with private caches per shard the sums stand *)
+    (match t.shared_cache with
+     | Some cache ->
+       agg.Stats.block_cache_hits <- Pdb_sstable.Block_cache.hits cache;
+       agg.Stats.block_cache_misses <- Pdb_sstable.Block_cache.misses cache
+     | None -> ());
+    agg
+
+  let memory_bytes t =
+    let sum = Array.fold_left (fun acc s -> acc + E.memory_bytes s) 0 t.shards in
+    match t.shared_cache with
+    | None -> sum
+    | Some cache ->
+      (* every shard counted the one shared cache; keep one copy *)
+      sum
+      - ((Array.length t.shards - 1) * Pdb_sstable.Block_cache.used cache)
+
+  let describe t =
+    let st = stats t in
+    Printf.sprintf "sharded %s — %s, balance=%.2f\n%s" t.opts.O.name
+      (Shard_router.describe t.router)
+      st.Stats.shard_balance
+      (String.concat "\n"
+         (Array.to_list
+            (Array.mapi
+               (fun i shard ->
+                 Printf.sprintf "-- shard %d --\n%s" i (E.describe shard))
+               t.shards)))
+
+  let check_invariants t =
+    Shard_router.check_invariants t.router;
+    if Array.length t.shards <> Shard_router.shards t.router then
+      failwith "Shard_store: shard count does not match router";
+    Array.iter E.check_invariants t.shards
+end

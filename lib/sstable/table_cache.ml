@@ -39,3 +39,5 @@ let resident_bytes t =
     0
 
 let open_tables t = Pdb_util.Lru.length t.cache
+let hits t = Pdb_util.Lru.hits t.cache
+let misses t = Pdb_util.Lru.misses t.cache

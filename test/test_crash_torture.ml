@@ -30,6 +30,29 @@ let check_engine engine () =
   Alcotest.(check bool) "some points double-crashed during recovery" true
     (r.Torture.double_crashes > 0)
 
+(* The same sweep against the range-partitioned store: crash points land
+   inside one shard's flush/compaction/WAL rotation (the other shards
+   idle), and whole-store recovery — including crash-during-recovery
+   points — must still match the oracle. *)
+let check_sharded engine () =
+  let r = Torture.run ~seed ~shards:4 ~max_points:48 engine in
+  (match r.Torture.failures with
+   | [] -> ()
+   | fs ->
+     List.iter
+       (fun (point, msg) ->
+         Printf.printf "[%s crash@%d] %s\n" r.Torture.engine point msg)
+       fs);
+  Alcotest.(check (list (pair int string)))
+    "oracle-consistent sharded recovery at every crash point" []
+    r.Torture.failures;
+  Alcotest.(check bool)
+    (Printf.sprintf "sweeps >= 30 crash points (got %d)" r.Torture.crash_points)
+    true
+    (r.Torture.crash_points >= 30);
+  Alcotest.(check bool) "some points double-crashed during recovery" true
+    (r.Torture.double_crashes > 0)
+
 let test_background_crashes_covered () =
   (* across the paper's LSM and FLSM engines the sweep must hit crash
      points inside background flush/compaction jobs *)
@@ -91,6 +114,13 @@ let () =
           Alcotest.test_case "pebblesdb" `Slow (check_engine Stores.Pebblesdb);
           Alcotest.test_case "wiredtiger" `Slow
             (check_engine Stores.Wiredtiger);
+        ] );
+      ( "sharded sweep",
+        [
+          Alcotest.test_case "leveldb x4 shards" `Slow
+            (check_sharded Stores.Leveldb);
+          Alcotest.test_case "pebblesdb x4 shards" `Slow
+            (check_sharded Stores.Pebblesdb);
         ] );
       ( "schedules",
         [

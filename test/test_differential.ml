@@ -1,0 +1,280 @@
+(* Differential testing: seeded random workloads replayed through the
+   sharded store (1 and 4 shards), the plain single-engine store, and a
+   pure in-memory oracle.
+
+   One generator produces a concrete op sequence per seed — puts,
+   deletes, multi-key batches, point gets, full scans, and pinned
+   snapshot reads — and every subject replays the identical sequence.
+   At every checkpoint the subject's visible state (every key by point
+   lookup, plus a full iterator scan) must equal the oracle exactly;
+   snapshot reads must equal the oracle state captured at pin time.
+   Because all subjects are checked against the same oracle, the plain
+   and sharded stores are transitively checked against each other. *)
+
+module Dyn = Pdb_kvs.Store_intf
+module Env = Pdb_simio.Env
+module Stores = Pdb_harness.Stores
+module O = Pdb_kvs.Options
+module Rng = Pdb_util.Rng
+module Iter = Pdb_kvs.Iter
+
+let keyspace = 120
+let n_ops = 240
+let checkpoint_every = 80
+let n_seeds = 20
+let key i = Printf.sprintf "dk%04d" i
+
+type op =
+  | Put of string * string
+  | Delete of string
+  | Batch of (string * string option) list  (* Some v = put, None = delete *)
+  | Get of string
+  | Scan
+  | Snap_pin of int  (* pin a snapshot into slot *)
+  | Snap_read of int * string list  (* read keys at the slot's snapshot *)
+  | Snap_drop of int
+  | Checkpoint
+
+(* One concrete op list per seed — subjects never consume randomness
+   themselves, so every subject sees byte-identical operations. *)
+let gen_ops seed =
+  let rng = Rng.create seed in
+  let k () = key (Rng.int rng keyspace) in
+  let ops =
+    List.init n_ops (fun i ->
+        let body =
+          match Rng.int rng 100 with
+          | r when r < 50 -> Put (k (), Printf.sprintf "v%d-%d" seed i)
+          | r when r < 60 -> Delete (k ())
+          | r when r < 70 ->
+            Batch
+              (List.init
+                 (1 + Rng.int rng 8)
+                 (fun j ->
+                   let key = k () in
+                   if Rng.int rng 5 = 0 then (key, None)
+                   else (key, Some (Printf.sprintf "b%d-%d-%d" seed i j))))
+          | r when r < 85 -> Get (k ())
+          | r when r < 90 -> Scan
+          | r when r < 94 -> Snap_pin (Rng.int rng 2)
+          | r when r < 98 ->
+            Snap_read (Rng.int rng 2, List.init 3 (fun _ -> k ()))
+          | _ -> Snap_drop (Rng.int rng 2)
+        in
+        if (i + 1) mod checkpoint_every = 0 then [ body; Checkpoint ]
+        else [ body ])
+  in
+  List.concat ops @ [ Checkpoint ]
+
+(* A store under differential test: the uniform dyn surface plus the
+   snapshot hooks when the configuration has them (plain stores and
+   page-store shards run the same sequence with snapshot ops skipped). *)
+type subject = {
+  name : string;
+  dyn : Dyn.dyn;
+  snapshot : (unit -> int) option;
+  get_at : (int -> string -> string option) option;
+  release : int -> unit;
+}
+
+let small o = { o with O.memtable_bytes = 4 * 1024 }
+
+let shard_tweak ~shards o =
+  let o = small o in
+  if shards <= 1 then { o with O.shards = max 1 shards }
+  else
+    {
+      o with
+      O.shards;
+      shard_splits =
+        List.init (shards - 1) (fun i -> key ((i + 1) * keyspace / shards));
+    }
+
+let plain_subject engine =
+  {
+    name = Stores.engine_name engine ^ "/plain";
+    dyn = Stores.open_engine ~tweak:small ~env:(Env.create ()) engine;
+    snapshot = None;
+    get_at = None;
+    release = ignore;
+  }
+
+let sharded_subject engine shards =
+  let sh =
+    Stores.open_sharded
+      ~tweak:(shard_tweak ~shards)
+      ~env:(Env.create ()) engine
+  in
+  {
+    name = Printf.sprintf "%s/%ds" (Stores.engine_name engine) shards;
+    dyn = sh.Stores.s_dyn;
+    snapshot = sh.Stores.s_snapshot;
+    get_at = sh.Stores.s_get_at;
+    release = sh.Stores.s_release;
+  }
+
+let scan (store : Dyn.dyn) =
+  let it = store.Dyn.d_iterator () in
+  it.Iter.seek_to_first ();
+  let acc = ref [] in
+  while it.Iter.valid () do
+    acc := (it.Iter.key (), it.Iter.value ()) :: !acc;
+    it.Iter.next ()
+  done;
+  List.rev !acc
+
+let oracle_entries oracle =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) oracle []
+  |> List.sort compare
+
+let show = function None -> "<absent>" | Some v -> v
+
+(* Replay [ops] into [subject] and the oracle together, failing the test
+   at the first divergence. *)
+let replay ~seed subject ops =
+  let ctx = Printf.sprintf "seed %d, %s" seed subject.name in
+  let oracle = Hashtbl.create 64 in
+  (* slot -> (subject snapshot id when supported, oracle state at pin) *)
+  let slots = Array.make 2 None in
+  let fail fmt = Printf.ksprintf (fun m -> Alcotest.fail (ctx ^ ": " ^ m)) fmt in
+  let check_get k =
+    let got = subject.dyn.Dyn.d_get k and want = Hashtbl.find_opt oracle k in
+    if got <> want then
+      fail "get %s diverged: store %s, oracle %s" k (show got) (show want)
+  in
+  let checkpoint () =
+    for i = 0 to keyspace - 1 do
+      check_get (key i)
+    done;
+    if scan subject.dyn <> oracle_entries oracle then
+      fail "scan diverged from oracle (%d store entries, %d oracle)"
+        (List.length (scan subject.dyn))
+        (List.length (oracle_entries oracle));
+    subject.dyn.Dyn.d_check_invariants ()
+  in
+  let drop slot =
+    match slots.(slot) with
+    | None -> ()
+    | Some (id, _) ->
+      Option.iter (fun _ -> subject.release id) subject.snapshot;
+      slots.(slot) <- None
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Put (k, v) ->
+        subject.dyn.Dyn.d_put k v;
+        Hashtbl.replace oracle k v
+      | Delete k ->
+        subject.dyn.Dyn.d_delete k;
+        Hashtbl.remove oracle k
+      | Batch entries ->
+        let b = Pdb_kvs.Write_batch.create () in
+        List.iter
+          (fun (k, v) ->
+            match v with
+            | Some v -> Pdb_kvs.Write_batch.put b k v
+            | None -> Pdb_kvs.Write_batch.delete b k)
+          entries;
+        subject.dyn.Dyn.d_write b;
+        List.iter
+          (fun (k, v) ->
+            match v with
+            | Some v -> Hashtbl.replace oracle k v
+            | None -> Hashtbl.remove oracle k)
+          entries
+      | Get k -> check_get k
+      | Scan ->
+        if scan subject.dyn <> oracle_entries oracle then
+          fail "mid-stream scan diverged from oracle"
+      | Snap_pin slot -> (
+        drop slot;
+        match subject.snapshot with
+        | None -> ()
+        | Some pin -> slots.(slot) <- Some (pin (), Hashtbl.copy oracle))
+      | Snap_read (slot, keys) -> (
+        match (slots.(slot), subject.get_at) with
+        | Some (id, pinned), Some get_at ->
+          List.iter
+            (fun k ->
+              let got = get_at id k and want = Hashtbl.find_opt pinned k in
+              if got <> want then
+                fail "snapshot read %s diverged: store %s, pinned oracle %s" k
+                  (show got) (show want))
+            keys
+        | _ -> ())
+      | Snap_drop slot -> drop slot
+      | Checkpoint -> checkpoint ())
+    ops;
+  drop 0;
+  drop 1;
+  subject.dyn.Dyn.d_close ()
+
+let engines =
+  [
+    Stores.Pebblesdb;
+    Stores.Hyperleveldb;
+    Stores.Leveldb;
+    Stores.Rocksdb;
+    Stores.Btree;
+    Stores.Wiredtiger;
+  ]
+
+let test_engine engine () =
+  for seed = 0 to n_seeds - 1 do
+    let ops = gen_ops seed in
+    replay ~seed (plain_subject engine) ops;
+    replay ~seed (sharded_subject engine 1) ops;
+    replay ~seed (sharded_subject engine 4) ops
+  done
+
+(* The sharded snapshot machinery is the part most at risk of skew (a
+   fence is a vector of per-shard sequences): pin a snapshot, churn every
+   key, and demand the pinned view intact. *)
+let test_snapshot_isolation engine () =
+  let sh =
+    Stores.open_sharded ~tweak:(shard_tweak ~shards:4) ~env:(Env.create ())
+      engine
+  in
+  let store = sh.Stores.s_dyn in
+  for i = 0 to keyspace - 1 do
+    store.Dyn.d_put (key i) (Printf.sprintf "before%d" i)
+  done;
+  let snap = (Option.get sh.Stores.s_snapshot) () in
+  let get_at = Option.get sh.Stores.s_get_at in
+  for round = 0 to 2 do
+    for i = 0 to keyspace - 1 do
+      if (i + round) mod 3 = 0 then store.Dyn.d_delete (key i)
+      else store.Dyn.d_put (key i) (Printf.sprintf "after%d-%d" round i)
+    done
+  done;
+  store.Dyn.d_flush ();
+  store.Dyn.d_compact_all ();
+  for i = 0 to keyspace - 1 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "pinned view of %s survives churn" (key i))
+      (Some (Printf.sprintf "before%d" i))
+      (get_at snap (key i))
+  done;
+  sh.Stores.s_release snap;
+  store.Dyn.d_close ()
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "oracle",
+        List.map
+          (fun engine ->
+            Alcotest.test_case
+              (Printf.sprintf "%s x %d seeds x {plain,1s,4s}"
+                 (Stores.engine_name engine) n_seeds)
+              `Slow (test_engine engine))
+          engines );
+      ( "snapshot isolation",
+        [
+          Alcotest.test_case "pebblesdb x4 shards" `Quick
+            (test_snapshot_isolation Stores.Pebblesdb);
+          Alcotest.test_case "leveldb x4 shards" `Quick
+            (test_snapshot_isolation Stores.Leveldb);
+        ] );
+    ]
