@@ -20,12 +20,31 @@ let engine_of_string = function
   | "wiredtiger" -> Ok Pdb_harness.Stores.Wiredtiger
   | s -> Error (Printf.sprintf "unknown store %S" s)
 
-let run store_name benchmarks num value_size seed clients shards trace_file =
-  match engine_of_string store_name with
+let policy_of_string = function
+  | None -> Ok None
+  | Some s -> (
+    match Pdb_kvs.Options.compaction_policy_of_string s with
+    | Ok p -> Ok (Some p)
+    | Error msg -> Error msg)
+
+let run store_name policy_name benchmarks num value_size seed clients shards
+    trace_file =
+  match
+    match (engine_of_string store_name, policy_of_string policy_name) with
+    | Error msg, _ | _, Error msg -> Error msg
+    | Ok engine, Ok policy -> Ok (engine, policy)
+  with
   | Error msg ->
     prerr_endline msg;
     exit 1
-  | Ok engine ->
+  | Ok (engine, policy) ->
+    (* a policy request may remap the engine (flsm_guarded needs guards,
+       the LSM layouts need the leveled/tiered engine) *)
+    let engine =
+      match policy with
+      | None -> engine
+      | Some p -> Pdb_harness.Stores.engine_for_policy engine p
+    in
     let env = Env.create () in
     (match trace_file with
      | Some _ -> Env.set_tracer env (Pdb_simio.Trace.create ())
@@ -33,6 +52,11 @@ let run store_name benchmarks num value_size seed clients shards trace_file =
     (* --shards routes the store through the range partitioner with splits
        matched to the bench keyspace (key%010d over [0, num)) *)
     let tweak o =
+      let o =
+        match policy with
+        | None -> o
+        | Some p -> { o with Pdb_kvs.Options.compaction_policy = p }
+      in
       if shards <= 1 then o
       else
         {
@@ -177,7 +201,10 @@ let run store_name benchmarks num value_size seed clients shards trace_file =
             (B.write_amp store);
           (match B.scheduler_summary store with
            | "" -> ()
-           | s -> Printf.printf "  compaction: %s\n%!" s)
+           | s -> Printf.printf "  compaction: %s\n%!" s);
+          (match B.trigger_summary store with
+           | "" -> ()
+           | s -> Printf.printf "  by-trigger: %s\n%!" s)
         | other -> Printf.printf "unknown benchmark %S (skipped)\n%!" other);
         L.print_summary ~indent:"               " lat)
       benchmarks;
@@ -185,6 +212,9 @@ let run store_name benchmarks num value_size seed clients shards trace_file =
     (match B.scheduler_summary store with
      | "" -> ()
      | s -> Printf.printf "compaction scheduler: %s\n" s);
+    (match B.trigger_summary store with
+     | "" -> ()
+     | s -> Printf.printf "compaction by trigger: %s\n" s);
     store.Dyn.d_close ();
     match (trace_file, Env.tracer env) with
     | Some path, Some tr ->
@@ -202,6 +232,13 @@ let store_arg =
        & info [ "store" ] ~docv:"STORE"
            ~doc:"pebblesdb | pebblesdb-1 | hyperleveldb | leveldb | rocksdb \
                  | kyotocabinet | wiredtiger")
+
+let policy_arg =
+  Arg.(value & opt (some string) None
+       & info [ "compaction-policy" ] ~docv:"POLICY"
+           ~doc:"leveled | tiered | lazy_leveled | flsm_guarded — pin the \
+                 compaction policy, remapping the store to the engine that \
+                 implements it when necessary.")
 
 let benchmarks_arg =
   Arg.(value
@@ -242,7 +279,7 @@ let trace_arg =
 let cmd =
   Cmd.v
     (Cmd.info "db_bench" ~doc:"Micro-benchmarks over the simulated stores")
-    Term.(const run $ store_arg $ benchmarks_arg $ num_arg $ value_size_arg
-          $ seed_arg $ clients_arg $ shards_arg $ trace_arg)
+    Term.(const run $ store_arg $ policy_arg $ benchmarks_arg $ num_arg
+          $ value_size_arg $ seed_arg $ clients_arg $ shards_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -24,17 +24,40 @@ let ycsb_splits shards =
   List.init (shards - 1) (fun i ->
       Printf.sprintf "user%016Lx" (Int64.mul step (Int64.of_int (i + 1))))
 
-let run store_name workloads records ops value_size clients shards trace_file =
+let run store_name policy_name workloads records ops value_size clients shards
+    trace_file =
+  let policy =
+    match policy_name with
+    | None -> None
+    | Some s -> (
+      match Pdb_kvs.Options.compaction_policy_of_string s with
+      | Ok p -> Some p
+      | Error msg ->
+        prerr_endline msg;
+        exit 1)
+  in
   match engine_of_string store_name with
   | None ->
     prerr_endline ("unknown store " ^ store_name);
     exit 1
   | Some engine ->
+    (* the requested policy may remap the engine (flsm_guarded needs the
+       FLSM engine, the LSM layouts need the leveled/tiered engine) *)
+    let engine =
+      match policy with
+      | None -> engine
+      | Some p -> Pdb_harness.Stores.engine_for_policy engine p
+    in
     let env = Env.create () in
     (match trace_file with
      | Some _ -> Env.set_tracer env (Pdb_simio.Trace.create ())
      | None -> ());
     let tweak o =
+      let o =
+        match policy with
+        | None -> o
+        | Some p -> { o with Pdb_kvs.Options.compaction_policy = p }
+      in
       if shards <= 1 then o
       else
         { o with Pdb_kvs.Options.shards; shard_splits = ycsb_splits shards }
@@ -94,6 +117,13 @@ let run store_name workloads records ops value_size clients shards trace_file =
 let store_arg =
   Arg.(value & opt string "pebblesdb" & info [ "store" ] ~docv:"STORE")
 
+let policy_arg =
+  Arg.(value & opt (some string) None
+       & info [ "compaction-policy" ] ~docv:"POLICY"
+           ~doc:"leveled | tiered | lazy_leveled | flsm_guarded — pin the \
+                 compaction policy, remapping the store to the engine that \
+                 implements it when necessary.")
+
 let workloads_arg =
   Arg.(value & opt (list string) [ "A"; "B"; "C"; "D"; "E"; "F" ]
        & info [ "workloads" ] ~docv:"LIST" ~doc:"YCSB workloads (A-F).")
@@ -128,7 +158,7 @@ let trace_arg =
 
 let cmd =
   Cmd.v (Cmd.info "ycsb" ~doc:"YCSB benchmark over the simulated stores")
-    Term.(const run $ store_arg $ workloads_arg $ records_arg $ ops_arg
-          $ value_size_arg $ clients_arg $ shards_arg $ trace_arg)
+    Term.(const run $ store_arg $ policy_arg $ workloads_arg $ records_arg
+          $ ops_arg $ value_size_arg $ clients_arg $ shards_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -24,6 +24,9 @@ type stats = {
       (** stall time attributed to the slowdown threshold *)
   mutable stall_stop_ns : float;
       (** stall time attributed to the hard stop threshold *)
+  mutable by_trigger : (string * (int * int)) list;
+      (** per-{!Job.trigger} (runs, estimated bytes), keyed by
+          [Job.trigger_name]; flushes via [run_now] count too *)
 }
 
 type t = {
@@ -52,6 +55,7 @@ let create ?env ~clock ~workers () =
         backlog_peak_bytes = 0;
         stall_slowdown_ns = 0.0;
         stall_stop_ns = 0.0;
+        by_trigger = [];
       };
     observer = None;
   }
@@ -109,6 +113,15 @@ let run_one t (job : Job.t) =
     | None -> ()
   end;
   t.stats.jobs_run <- t.stats.jobs_run + 1;
+  let trig = Job.trigger_name job.trigger in
+  let runs, bytes =
+    match List.assoc_opt trig t.stats.by_trigger with
+    | Some rb -> rb
+    | None -> (0, 0)
+  in
+  t.stats.by_trigger <-
+    (trig, (runs + 1, bytes + job.estimated_bytes))
+    :: List.remove_assoc trig t.stats.by_trigger;
   match t.observer with Some f -> f job | None -> ()
 
 (** [drain t] executes every pending job, FIFO. *)

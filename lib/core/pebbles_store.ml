@@ -30,10 +30,12 @@ module Manifest = Pdb_manifest.Manifest
 module Stats = Pdb_kvs.Engine_stats
 module Job = Pdb_compaction.Job
 module Scheduler = Pdb_compaction.Scheduler
+module Policy = Pdb_compaction.Policy
 module Sched = Pdb_simio.Sched
 
 type t = {
   opts : O.t;
+  policy : Policy.t; (* the flsm_guarded policy: triggers consult it *)
   env : Env.t;
   dir : string;
   clock : Clock.t;
@@ -644,6 +646,47 @@ and find_guard t level gkey =
   Array.to_list t.levels.(level).Guard.guards
   |> List.find_opt (fun (g : Guard.guard) -> g.Guard.gkey = gkey)
 
+(* ---------- policy consultation ---------- *)
+
+(* The FLSM triggers phrased as policy scores: L0 back-pressure and level
+   size are the shared [level_state] scores, guard caps are
+   [guard_score].  One [Policy.should_trigger] threshold replaces the
+   inline comparisons. *)
+and l0_due t =
+  Policy.should_trigger
+    (t.policy.Policy.score
+       {
+         Policy.level = 0;
+         last_level = last_level t;
+         files = List.length t.l0;
+         bytes =
+           List.fold_left
+             (fun a (m : Table.meta) -> a + m.Table.file_size)
+             0 t.l0;
+         max_bytes = O.level_max_bytes t.opts 1;
+         file_trigger = t.opts.O.l0_compaction_trigger;
+       })
+
+and level_due t level =
+  Policy.should_trigger
+    (t.policy.Policy.score
+       {
+         Policy.level;
+         last_level = last_level t;
+         files = Guard.table_count t.levels.(level);
+         bytes = level_bytes t level;
+         max_bytes = O.level_max_bytes t.opts level;
+         file_trigger = t.opts.O.l0_compaction_trigger;
+       })
+
+and guard_due ?cap t (g : Guard.guard) =
+  let cap =
+    match cap with Some c -> c | None -> t.opts.O.max_sstables_per_guard
+  in
+  Policy.should_trigger
+    (t.policy.Policy.guard_score
+       { Policy.g_tables = List.length g.Guard.tables; g_cap = cap })
+
 and maybe_compact t =
   (* Commit pending guards of still-empty levels up front: with no resident
      sstables there is nothing to split, so the commit is pure metadata.
@@ -696,7 +739,7 @@ and maybe_compact t =
       end
     in
     (* L0 back-pressure *)
-    if List.length t.l0 >= t.opts.O.l0_compaction_trigger then
+    if l0_due t then
       enqueue "l0" Job.L0_files
         ~estimated_bytes:
           (List.fold_left
@@ -704,30 +747,25 @@ and maybe_compact t =
              0 t.l0)
         ~footprint:(Sched.full_range ~level_lo:0 ~level_hi:1)
         ~measure:(fun () -> List.length t.l0)
-        (fun () ->
-          if List.length t.l0 >= t.opts.O.l0_compaction_trigger then
-            compact_level t 0);
+        (fun () -> if l0_due t then compact_level t 0);
     (* level size triggers — measured in bytes: 25x-redirected rewrites
        can leave the size unchanged, which must count as no progress *)
     for level = 1 to last_level t - 1 do
-      if level_bytes t level > O.level_max_bytes t.opts level then
+      if level_due t level then
         enqueue
           (Printf.sprintf "size:%d" level)
           Job.Level_size
           ~estimated_bytes:(level_bytes t level)
           ~footprint:(Sched.full_range ~level_lo:level ~level_hi:(level + 1))
           ~measure:(fun () -> level_bytes t level)
-          (fun () ->
-            if level_bytes t level > O.level_max_bytes t.opts level then
-              compact_level t level)
+          (fun () -> if level_due t level then compact_level t level)
     done;
     (* per-guard caps: one job per full guard — FLSM's unit of compaction
        concurrency *)
     for level = 1 to last_level t - 1 do
       Array.iter
         (fun (g : Guard.guard) ->
-          if List.length g.Guard.tables >= t.opts.O.max_sstables_per_guard
-          then begin
+          if guard_due t g then begin
             let gkey = g.Guard.gkey in
             let tables_of () =
               match find_guard t level gkey with
@@ -741,9 +779,7 @@ and maybe_compact t =
               ~measure:tables_of
               (fun () ->
                 match find_guard t level gkey with
-                | Some g
-                  when List.length g.Guard.tables
-                       >= t.opts.O.max_sstables_per_guard ->
+                | Some g when guard_due t g ->
                   compact_level t ~only_guards:[ g ] level
                 | Some _ | None -> ())
           end)
@@ -754,10 +790,10 @@ and maybe_compact t =
        guards) and often removes the need to merge at all *)
     commit_pending_with_edit t (last_level t);
     let ll = last_level t in
+    let last_cap = max 2 t.opts.O.max_sstables_per_guard in
     Array.iter
       (fun (g : Guard.guard) ->
-        if List.length g.Guard.tables >= max 2 t.opts.O.max_sstables_per_guard
-        then begin
+        if guard_due ~cap:last_cap t g then begin
           let gkey = g.Guard.gkey in
           let tables_of () =
             match find_guard t ll gkey with
@@ -771,9 +807,7 @@ and maybe_compact t =
             ~measure:tables_of
             (fun () ->
               match find_guard t ll gkey with
-              | Some g
-                when List.length g.Guard.tables
-                     >= max 2 t.opts.O.max_sstables_per_guard ->
+              | Some g when guard_due ~cap:last_cap t g ->
                 let before = List.length g.Guard.tables in
                 compact_last_level_guard t g;
                 if tables_of () >= before then
@@ -935,6 +969,14 @@ let relog_memtable wal mem =
   end
 
 let open_store ?block_cache (opts : O.t) ~env ~dir =
+  (match opts.O.compaction_policy with
+   | O.Flsm_guarded -> ()
+   | (O.Leveled | O.Tiered | O.Lazy_leveled) as p ->
+     invalid_arg
+       (Printf.sprintf
+          "Pebbles_store.open_store: policy %s has no guard structure (use \
+           the LSM engine)"
+          (O.compaction_policy_name p)));
   let levels = Array.init opts.O.max_levels (fun _ -> Guard.create_level ()) in
   let committed = Array.init opts.O.max_levels (fun _ -> Hashtbl.create 64) in
   let l0 = ref [] in
@@ -996,6 +1038,7 @@ let open_store ?block_cache (opts : O.t) ~env ~dir =
   let t =
     {
       opts;
+      policy = Policy.of_options opts;
       env;
       dir;
       clock = Env.clock env;
@@ -1078,6 +1121,7 @@ let stats t =
   st.Stats.stall_slowdown_ns <- s.Scheduler.stall_slowdown_ns;
   st.Stats.stall_stop_ns <- s.Scheduler.stall_stop_ns;
   st.Stats.worker_busy_ns <- Scheduler.busy_ns t.sched;
+  st.Stats.compaction_by_trigger <- (Scheduler.stats t.sched).Scheduler.by_trigger;
   st.Stats.block_cache_hits <- Pdb_sstable.Block_cache.hits t.block_cache;
   st.Stats.block_cache_misses <- Pdb_sstable.Block_cache.misses t.block_cache;
   st.Stats.table_cache_hits <- Pdb_sstable.Table_cache.hits t.table_cache;

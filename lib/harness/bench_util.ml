@@ -337,6 +337,19 @@ let scheduler_summary (store : Dyn.dyn) =
       (st.Pdb_kvs.Engine_stats.stall_stop_ns /. 1e6)
   end
 
+(** One line of per-trigger compaction counters ("flush=12x/3.4MB
+    l0=5x/..."), or "" when nothing ran.  Runs and estimated bytes keyed
+    by {!Pdb_compaction.Job.trigger}, aggregated across shards. *)
+let trigger_summary (store : Dyn.dyn) =
+  let st = store.Dyn.d_stats () in
+  match st.Pdb_kvs.Engine_stats.compaction_by_trigger with
+  | [] -> ""
+  | by_trigger ->
+    List.sort (fun (a, _) (b, _) -> String.compare a b) by_trigger
+    |> List.map (fun (trig, (runs, bytes)) ->
+           Printf.sprintf "%s=%dx/%.1fMB" trig runs (mb bytes))
+    |> String.concat " "
+
 (** Write amplification of a store at this instant: device writes over user
     payload. *)
 let write_amp (store : Dyn.dyn) =

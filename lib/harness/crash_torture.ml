@@ -59,8 +59,13 @@ let gen_trace ~seed ~ops ~keyspace =
    (lib/shard): the crash then lands inside ONE shard's flush/compaction/
    WAL machinery while the other shards idle, and recovery must bring the
    whole store back to the oracle. *)
-let tweak ~shards ~keyspace (o : O.t) =
+let tweak ?policy ~shards ~keyspace (o : O.t) =
   let o = { o with O.memtable_bytes = 2048; wal_sync_writes = true } in
+  let o =
+    match policy with
+    | None -> o
+    | Some p -> { o with O.compaction_policy = p }
+  in
   if shards <= 1 then o
   else
     {
@@ -99,11 +104,13 @@ let run_trace db oracle trace =
 (** [count_events engine ~seed ~trace] runs the whole trace under a plan
     that never fires, counting every IO event — the number of distinct
     crash points the sweep can target. *)
-let count_events ?(shards = 1) ?(keyspace = 48) engine ~seed ~trace =
+let count_events ?policy ?(shards = 1) ?(keyspace = 48) engine ~seed ~trace =
   let env = Env.create () in
   let plan = Env.Fault_plan.create ~seed ~crash_after:max_int () in
   Env.set_fault_plan env plan;
-  let db = Stores.open_engine ~tweak:(tweak ~shards ~keyspace) ~env engine in
+  let db =
+    Stores.open_engine ~tweak:(tweak ?policy ~shards ~keyspace) ~env engine
+  in
   let oracle = Hashtbl.create 64 in
   (match run_trace db oracle trace with
    | None -> ()
@@ -179,15 +186,24 @@ type result = {
   failures : (int * string) list;  (** (crash point, what went wrong) *)
 }
 
-(** [run ?seed ?ops ?keyspace ?max_points ?shards engine] sweeps crash
-    points across the trace and verifies recovery at each.  [max_points]
-    bounds the sweep (evenly strided across all events); [shards > 1]
-    runs the trace against the range-partitioned store. *)
+(** [run ?seed ?ops ?keyspace ?max_points ?shards ?policy engine] sweeps
+    crash points across the trace and verifies recovery at each.
+    [max_points] bounds the sweep (evenly strided across all events);
+    [shards > 1] runs the trace against the range-partitioned store;
+    [policy] pins the compaction policy (remapping the engine to one that
+    implements it, as the CLIs do). *)
 let run ?(seed = 0xFA17) ?(ops = 140) ?(keyspace = 48) ?(max_points = 64)
-    ?(shards = 1) engine =
-  let tweak = tweak ~shards ~keyspace in
+    ?(shards = 1) ?policy engine =
+  let engine =
+    match policy with
+    | None -> engine
+    | Some p -> Stores.engine_for_policy engine p
+  in
+  let tweak = tweak ?policy ~shards ~keyspace in
   let trace = gen_trace ~seed ~ops ~keyspace in
-  let total_events = count_events ~shards ~keyspace engine ~seed ~trace in
+  let total_events =
+    count_events ?policy ~shards ~keyspace engine ~seed ~trace
+  in
   let stride = max 1 (total_events / max_points) in
   let crash_points = ref 0 in
   let double_crashes = ref 0 in
@@ -257,6 +273,9 @@ let run ?(seed = 0xFA17) ?(ops = 140) ?(keyspace = 48) ?(max_points = 64)
   {
     engine =
       Stores.engine_name engine
+      ^ (match policy with
+        | None -> ""
+        | Some p -> "/" ^ O.compaction_policy_name p)
       ^ (if shards > 1 then Printf.sprintf " x%d shards" shards else "");
     total_events;
     crash_points = !crash_points;

@@ -1189,6 +1189,88 @@ let run_shard_at ~n () =
 let run_shard () = run_shard_at ~n:n_medium ()
 let run_shard_smoke () = run_shard_at ~n:(n_medium / 5) ()
 
+(* ---------------- policy : compaction policy sweep ---------------------- *)
+
+(* The compaction design space as configuration (lib/compaction/policy.ml):
+   the same workload under each of the four named policies, on the engine
+   that implements it (flsm_guarded -> the FLSM engine, the rest -> the
+   leveled/tiered LSM engine).  Expected shape — the classic three-way
+   tradeoff: tiered minimizes write-amp (runs stack, nothing rewrites),
+   leveled minimizes scan cost and space-amp (one run per level), and
+   lazy_leveled sits between (tiered uppers, leveled last level), with
+   flsm_guarded near lazy_leveled (fragments stack inside guards but
+   guard-grain compaction keeps levels bounded).
+
+   The sweep runs with [max_levels = 4] so the scaled dataset actually
+   reaches the last level — that is where lazy_leveled diverges from
+   tiered and where space-amp differences live. *)
+
+let run_policy_at ~n () =
+  let policies = O.all_compaction_policies in
+  let rows =
+    List.map
+      (fun p ->
+        let name = O.compaction_policy_name p in
+        let engine = Stores.engine_for_policy Stores.Hyperleveldb p in
+        let tweak (o : O.t) =
+          { o with O.compaction_policy = p; max_levels = 4 }
+        in
+        let store = Stores.open_engine ~tweak engine in
+        let fill = B.fill_random store ~n ~value_bytes:value_1k ~seed in
+        store.Dyn.d_flush ();
+        let wa = B.write_amp store in
+        (* space as written by the policy, before any manual compaction *)
+        let live = n * (value_1k + 13) in
+        let used = Env.total_file_bytes store.Dyn.d_env in
+        let space_amp = float_of_int used /. float_of_int live in
+        let reads = B.read_random store ~n ~ops:(n / 2) ~seed in
+        (* scan cost: full forward iteration; tiered pays one iterator per
+           run where leveled pays one per level *)
+        let scan =
+          B.measure store n (fun () ->
+              let it = store.Dyn.d_iterator () in
+              it.Iter.seek_to_first ();
+              while it.Iter.valid () do
+                ignore (it.Iter.key ());
+                it.Iter.next ()
+              done)
+        in
+        let triggers = B.trigger_summary store in
+        store.Dyn.d_close ();
+        B.Json.metric ~store:name "write_amp" wa;
+        B.Json.metric ~store:name "space_amp" space_amp;
+        B.Json.metric ~store:name "fill_kops" fill.B.kops;
+        B.Json.metric ~store:name "read_kops" reads.B.kops;
+        B.Json.metric ~store:name "scan_kops" scan.B.kops;
+        ( [
+            name;
+            B.fmt_f fill.B.kops;
+            B.fmt_f wa;
+            B.fmt_f reads.B.kops;
+            B.fmt_f scan.B.kops;
+            B.fmt_f space_amp;
+          ],
+          (name, triggers) ))
+      policies
+  in
+  B.print_table
+    ~title:
+      (Printf.sprintf
+         "Compaction policy sweep — %dk x 1KB random fill, then reads and a \
+          full scan (max_levels=4)"
+         (n / 1000))
+    ~header:
+      [ "policy"; "fill KOps/s"; "write amp"; "read KOps/s"; "scan KOps/s";
+        "space amp" ]
+    (List.map fst rows);
+  List.iter
+    (fun (_, (name, triggers)) ->
+      if triggers <> "" then pf "  %-14s %s\n" name triggers)
+    rows
+
+let run_policy () = run_policy_at ~n:n_medium ()
+let run_policy_smoke () = run_policy_at ~n:(n_medium / 5) ()
+
 (* ---------------- registry ---------------------------------------------- *)
 
 let all : experiment list =
@@ -1223,6 +1305,10 @@ let all : experiment list =
       run = run_shard };
     { id = "shard-smoke"; title = "Range-partitioned shards (reduced scale)";
       run = run_shard_smoke };
+    { id = "policy"; title = "Compaction policy sweep";
+      run = run_policy };
+    { id = "policy-smoke"; title = "Compaction policy sweep (reduced scale)";
+      run = run_policy_smoke };
     { id = "future"; title = "Future-work features (ch. 7)";
       run = run_future_work };
   ]

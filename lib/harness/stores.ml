@@ -39,6 +39,29 @@ let default_options = function
   | Btree -> { (O.leveldb ()) with O.name = "kyotocabinet-sim" }
   | Wiredtiger -> { (O.leveldb ()) with O.name = "wiredtiger-sim" }
 
+(* ---------- compaction-policy routing ---------- *)
+
+(* The implementing engine for a requested compaction policy:
+   [flsm_guarded] needs the guard-structured FLSM engine, the three LSM
+   layouts need the leveled/tiered engine.  A request that contradicts
+   the chosen store remaps to the matching engine (HyperLevelDB profile —
+   the FLSM engine's own base — for LSM policies, PebblesDB for
+   [flsm_guarded]), so [--compaction-policy] works with any [--store]. *)
+let engine_for_policy engine (p : O.compaction_policy) =
+  match p with
+  | O.Flsm_guarded ->
+    (match engine with
+     | Pebblesdb | Pebblesdb_one -> engine
+     | Hyperleveldb | Leveldb | Rocksdb | Btree | Wiredtiger -> Pebblesdb)
+  | O.Leveled | O.Tiered | O.Lazy_leveled ->
+    (match engine with
+     | Pebblesdb | Pebblesdb_one -> Hyperleveldb
+     | (Hyperleveldb | Leveldb | Rocksdb | Btree | Wiredtiger) as e -> e)
+
+(* tweak composer: pin the policy on top of an existing tweak *)
+let with_policy p tweak o =
+  { (tweak o) with O.compaction_policy = p }
+
 (* ---------- shard-aware engine adapters ---------- *)
 
 (* Each adapter fixes the engines' optional arguments to match

@@ -26,6 +26,10 @@ type t = {
   mutable seek_compactions : int;  (** FLSM only *)
   mutable write_breakdown : (string * int) list;
       (** bytes written per compaction category (diagnostics) *)
+  mutable compaction_by_trigger : (string * (int * int)) list;
+      (** per-trigger (runs, estimated bytes), keyed by the job trigger
+          name ("flush", "l0", "size", "cap", ...), mirrored from the
+          scheduler and summed across shards *)
   (* background-scheduler counters, mirrored from the compaction
      scheduler when an engine reports stats *)
   mutable compaction_jobs : int;  (** jobs drained by the scheduler *)
@@ -88,6 +92,16 @@ let bump_breakdown t category bytes =
     (category, current + bytes)
     :: List.remove_assoc category t.write_breakdown
 
+let bump_trigger t trig ~runs ~bytes =
+  let r0, b0 =
+    match List.assoc_opt trig t.compaction_by_trigger with
+    | Some rb -> rb
+    | None -> (0, 0)
+  in
+  t.compaction_by_trigger <-
+    (trig, (r0 + runs, b0 + bytes))
+    :: List.remove_assoc trig t.compaction_by_trigger
+
 let create () =
   {
     user_bytes_written = 0;
@@ -109,6 +123,7 @@ let create () =
     guards_empty = 0;
     seek_compactions = 0;
     write_breakdown = [];
+    compaction_by_trigger = [];
     compaction_jobs = 0;
     compaction_queue_peak = 0;
     compaction_backlog_peak_bytes = 0;
@@ -181,6 +196,9 @@ let aggregate ~shared_cache per_shard =
       List.iter
         (fun (category, bytes) -> bump_breakdown t category bytes)
         s.write_breakdown;
+      List.iter
+        (fun (trig, (runs, bytes)) -> bump_trigger t trig ~runs ~bytes)
+        s.compaction_by_trigger;
       t.compaction_jobs <- t.compaction_jobs + s.compaction_jobs;
       t.compaction_queue_peak <-
         max t.compaction_queue_peak s.compaction_queue_peak;

@@ -14,8 +14,41 @@
     which drives the paper's headline results, is fully simulated from the
     data structures themselves. *)
 
+(** Which point of the compaction design space (Sarkar et al.) the engine
+    runs: how levels lay out their runs, what triggers a compaction, and
+    which victims it picks.  The first-class policy value that interprets
+    this choice lives in [Pdb_compaction.Policy]; the constructors live
+    here so every layer below the harness can pattern-match without
+    depending on the compaction library. *)
+type compaction_policy =
+  | Leveled  (** disjoint sorted files per level, partial victims *)
+  | Tiered  (** overlapping sorted runs per level, merged wholesale *)
+  | Lazy_leveled  (** tiered upper levels, leveled last level *)
+  | Flsm_guarded  (** FLSM guards (PebblesDB) — requires the FLSM engine *)
+
+let compaction_policy_name = function
+  | Leveled -> "leveled"
+  | Tiered -> "tiered"
+  | Lazy_leveled -> "lazy_leveled"
+  | Flsm_guarded -> "flsm_guarded"
+
+let compaction_policy_of_string = function
+  | "leveled" -> Ok Leveled
+  | "tiered" -> Ok Tiered
+  | "lazy_leveled" | "lazy-leveled" -> Ok Lazy_leveled
+  | "flsm_guarded" | "flsm-guarded" | "flsm" -> Ok Flsm_guarded
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown compaction policy %S (expected leveled | tiered | \
+          lazy_leveled | flsm_guarded)"
+         s)
+
+let all_compaction_policies = [ Leveled; Tiered; Lazy_leveled; Flsm_guarded ]
+
 type t = {
   name : string;
+  compaction_policy : compaction_policy;
   (* memtable / level shape *)
   memtable_bytes : int;
   l0_compaction_trigger : int;  (** files in L0 that trigger compaction *)
@@ -77,6 +110,7 @@ type t = {
 let base =
   {
     name = "base";
+    compaction_policy = Leveled;
     memtable_bytes = 64 * 1024;
     l0_compaction_trigger = 4;
     l0_slowdown = 8;
@@ -168,6 +202,7 @@ let pebblesdb () =
   {
     base with
     name = "pebblesdb";
+    compaction_policy = Flsm_guarded;
     sstable_bloom = true;
     compaction_threads = 2;
     op_overhead_write_ns = 4_000.0;

@@ -3,11 +3,23 @@
 
     This is the stand-in for the paper's LevelDB / RocksDB / HyperLevelDB
     baselines; the three are instances of this engine under different
-    {!Pdb_kvs.Options} profiles.  The engine maintains the classical LSM
-    invariant — every level >= 1 holds sstables with disjoint key ranges —
-    and therefore pays the classical price: compacting a level rewrites the
-    overlapping sstables of the next level, which is the root cause of LSM
-    write amplification that FLSM removes. *)
+    {!Pdb_kvs.Options} profiles.  Under the default [leveled] policy the
+    engine maintains the classical LSM invariant — every level >= 1 holds
+    sstables with disjoint key ranges — and therefore pays the classical
+    price: compacting a level rewrites the overlapping sstables of the
+    next level, which is the root cause of LSM write amplification that
+    FLSM removes.
+
+    Compaction decisions are delegated to a first-class
+    {!Pdb_compaction.Policy} value: the same engine also runs [tiered]
+    (each level >= 1 holds several overlapping sorted runs, kept
+    newest-first like L0 and merged wholesale on trigger) and
+    [lazy_leveled] (tiered everywhere except the last level).  Because
+    every tiered policy uses whole-level victims, a run resident in a
+    tiered level is strictly newer than any run below it that shares
+    keys, so newest-first probing stays correct (the L0 argument,
+    generalised).  The [flsm_guarded] policy needs guard state and lives
+    in the FLSM engine. *)
 
 module Ik = Pdb_kvs.Internal_key
 module Iter = Pdb_kvs.Iter
@@ -20,10 +32,12 @@ module Wal = Pdb_wal.Wal
 module Manifest = Pdb_manifest.Manifest
 module Job = Pdb_compaction.Job
 module Scheduler = Pdb_compaction.Scheduler
+module Policy = Pdb_compaction.Policy
 module Sched = Pdb_simio.Sched
 
 type t = {
   opts : O.t;
+  policy : Policy.t;
   env : Env.t;
   dir : string;
   clock : Clock.t;
@@ -39,7 +53,8 @@ type t = {
   mutable last_seq : int;
   levels : Table.meta list array;
       (* level 0: newest first (descending file number); levels >= 1:
-         ascending by smallest key, disjoint ranges *)
+         leveled layout = ascending by smallest key, disjoint ranges;
+         tiered layout = newest first, runs may overlap *)
   compact_pointer : string array; (* round-robin pick cursor per level *)
   mutable obsolete : string list; (* files awaiting deletion *)
   snapshots : Pdb_kvs.Snapshots.t;
@@ -59,6 +74,37 @@ let charge_cpu t ns = Clock.advance_cpu t.clock ns
 let user_range_overlap (m : Table.meta) key =
   String.compare (Ik.user_key m.Table.smallest) key <= 0
   && String.compare key (Ik.user_key m.Table.largest) <= 0
+
+(* ---------- policy-dependent level layout ---------- *)
+
+let last_level opts = opts.O.max_levels - 1
+
+(* [tiered_layout ~policy ~opts level]: does [level] (>= 1) hold
+   overlapping runs (tiering) rather than one sorted run (leveling)? *)
+let tiered_layout ~policy ~opts level =
+  level >= 1
+  && Policy.(
+       policy.layout ~level ~last_level:(last_level opts) = Tiered_runs)
+
+let tiered_level t level = tiered_layout ~policy:t.policy ~opts:t.opts level
+
+let sort_newest_first files =
+  List.sort
+    (fun (a : Table.meta) (b : Table.meta) ->
+      Int.compare b.Table.number a.Table.number)
+    files
+
+let sort_by_smallest files =
+  List.sort
+    (fun (a : Table.meta) (b : Table.meta) ->
+      Ik.compare a.Table.smallest b.Table.smallest)
+    files
+
+(* canonical resident order of a level under the active policy *)
+let sort_for_level ~policy ~opts level files =
+  if level = 0 || tiered_layout ~policy ~opts level then
+    sort_newest_first files
+  else sort_by_smallest files
 
 (* ---------- obsolete-file garbage collection ---------- *)
 
@@ -112,18 +158,9 @@ let apply_edit ~levels ~wal_number ~next_file ~last_seq (e : Manifest.edit) =
     (fun (level, meta) -> levels.(level) <- meta :: levels.(level))
     e.Manifest.added_files
 
-let normalize_levels levels =
-  levels.(0) <-
-    List.sort
-      (fun (a : Table.meta) (b : Table.meta) ->
-        Int.compare b.Table.number a.Table.number)
-      levels.(0);
-  for i = 1 to Array.length levels - 1 do
-    levels.(i) <-
-      List.sort
-        (fun (a : Table.meta) (b : Table.meta) ->
-          Ik.compare a.Table.smallest b.Table.smallest)
-        levels.(i)
+let normalize_levels ~policy ~opts levels =
+  for i = 0 to Array.length levels - 1 do
+    levels.(i) <- sort_for_level ~policy ~opts i levels.(i)
   done
 
 (* Snapshot the whole state as a single edit (written to a fresh MANIFEST
@@ -272,17 +309,31 @@ and level_bytes t level =
   List.fold_left (fun acc (m : Table.meta) -> acc + m.Table.file_size) 0
     t.levels.(level)
 
-and compaction_score t level =
-  if level = 0 then
-    float_of_int (List.length t.levels.(0))
-    /. float_of_int t.opts.O.l0_compaction_trigger
-  else if level >= t.opts.O.max_levels - 1 then 0.0
-  else
-    float_of_int (level_bytes t level)
-    /. float_of_int (O.level_max_bytes t.opts level)
+and level_state t level =
+  {
+    Policy.level;
+    last_level = last_level t.opts;
+    files = List.length t.levels.(level);
+    bytes = level_bytes t level;
+    max_bytes = O.level_max_bytes t.opts (max 1 level);
+    file_trigger = t.opts.O.l0_compaction_trigger;
+  }
+
+and compaction_score t level = t.policy.Policy.score (level_state t level)
 
 and pick_inputs t level =
-  if level = 0 then begin
+  match t.policy.Policy.victims (level_state t level) with
+  | Policy.All_files ->
+    (* tiering: the whole level merges wholesale into one new run *)
+    t.levels.(level)
+  | Policy.Guard_pick ->
+    (* guard state lives in the FLSM engine; rejected at open *)
+    assert false
+  | Policy.Oldest_overlap_closure -> pick_l0_closure t
+  | Policy.Round_robin -> pick_round_robin t level
+
+and pick_l0_closure t =
+  begin
     (* the oldest L0 file plus every L0 file overlapping it (LevelDB's
        rule).  On sequential fills the L0 files are disjoint, so this
        selects a single file and enables the trivial-move fast path. *)
@@ -318,7 +369,9 @@ and pick_inputs t level =
       done;
       !selected
   end
-  else begin
+
+and pick_round_robin t level =
+  begin
     (* round-robin: first [compaction_pick_files] files after the pointer *)
     let files = t.levels.(level) in
     let after =
@@ -374,8 +427,17 @@ and input_user_range inputs =
   (smallest, largest)
 
 (* Merge [inputs_lo] (level) and [inputs_hi] (level+1) into new tables for
-   level+1.  Runs inside the background lane. *)
-and run_merge t ~inputs_lo ~inputs_hi ~target_level =
+   level+1.  Runs inside the background lane.
+
+   [drop_tombstones] is sound only when the merge reaches the last level
+   AND consumes every target file overlapping the inputs' range: a
+   tiered append that leaves sibling runs in place must keep tombstones,
+   or deleted keys in those runs would resurrect.
+
+   [single_output] builds one table regardless of size: a run stacked
+   onto a tiered level must stay one file, because tiered levels count
+   files as runs (the run-count trigger) and order them by recency. *)
+and run_merge t ~inputs_lo ~inputs_hi ~drop_tombstones ~single_output =
   let scratch =
     Pdb_sstable.Block_cache.create ~capacity:(8 * t.opts.O.block_bytes)
   in
@@ -389,7 +451,6 @@ and run_merge t ~inputs_lo ~inputs_hi ~target_level =
   in
   let children = List.map iter_of_meta (inputs_lo @ inputs_hi) in
   let merged = Pdb_kvs.Merging_iter.create ~compare:Ik.compare children in
-  let bottom = target_level >= t.opts.O.max_levels - 1 in
   let outputs = ref [] in
   let builder = ref None in
   let expected_keys = max 16 (t.opts.O.sstable_target_bytes / 64) in
@@ -432,7 +493,7 @@ and run_merge t ~inputs_lo ~inputs_hi ~target_level =
        | _ ->
          (* tombstones die when they reach the bottom level, unless a
             snapshot still needs them *)
-         bottom
+         drop_tombstones
          && Ik.kind ikey = Ik.Deletion
          && Pdb_kvs.Snapshots.tombstone_droppable t.snapshots ~seq:cur_seq
               ~last_seq:t.last_seq)
@@ -441,8 +502,10 @@ and run_merge t ~inputs_lo ~inputs_hi ~target_level =
     if not drop then begin
       let b = get_builder () in
       Table.Builder.add b ikey (merged.Iter.value ());
-      if Table.Builder.estimated_size b >= t.opts.O.sstable_target_bytes then
-        finish_builder ()
+      if
+        (not single_output)
+        && Table.Builder.estimated_size b >= t.opts.O.sstable_target_bytes
+      then finish_builder ()
     end;
     merged.Iter.next ()
   done;
@@ -459,9 +522,7 @@ and install_compaction t ~level ~inputs_lo ~inputs_hi ~outputs =
       (fun (m : Table.meta) -> not (List.mem m.Table.number in_lo))
       t.levels.(level);
   t.levels.(target) <-
-    List.sort
-      (fun (a : Table.meta) (b : Table.meta) ->
-        Ik.compare a.Table.smallest b.Table.smallest)
+    sort_for_level ~policy:t.policy ~opts:t.opts target
       (outputs
        @ List.filter
            (fun (m : Table.meta) -> not (List.mem m.Table.number in_hi))
@@ -497,31 +558,45 @@ and compact_level t level =
   let inputs_lo = pick_inputs t level in
   if inputs_lo <> [] then begin
     let smallest, largest = input_user_range inputs_lo in
-    let inputs_hi = overlapping_files t (level + 1) ~smallest ~largest in
+    let target = level + 1 in
+    (* output placement: a merging policy rewrites the overlapping target
+       files; a stacking policy (tiering) appends beside them *)
+    let merges_target =
+      t.policy.Policy.output_merges_target ~target
+        ~last_level:(last_level t.opts)
+    in
+    let inputs_hi =
+      if merges_target then overlapping_files t target ~smallest ~largest
+      else []
+    in
     (* record the round-robin cursor *)
     if level > 0 then t.compact_pointer.(level) <- largest;
     match (inputs_lo, inputs_hi) with
     | [ single ], [] ->
       (* trivial move: sequential workloads produce disjoint sstables that
          LSM moves between levels by metadata alone — the case where LSM
-         beats FLSM (§5.2 "Sequential Writes") *)
+         beats FLSM (§5.2 "Sequential Writes").  Safe under tiering too:
+         whole-level victims make the single run the entire source level,
+         so it is newer than every run already resident in the target. *)
       t.levels.(level) <-
         List.filter
           (fun (m : Table.meta) -> m.Table.number <> single.Table.number)
           t.levels.(level);
-      t.levels.(level + 1) <-
-        List.sort
-          (fun (a : Table.meta) (b : Table.meta) ->
-            Ik.compare a.Table.smallest b.Table.smallest)
-          (single :: t.levels.(level + 1));
+      t.levels.(target) <-
+        sort_for_level ~policy:t.policy ~opts:t.opts target
+          (single :: t.levels.(target));
       let e = Manifest.empty_edit () in
       e.Manifest.deleted_files <- [ (level, single.Table.number) ];
-      e.Manifest.added_files <- [ (level + 1, single) ];
+      e.Manifest.added_files <- [ (target, single) ];
       Manifest.append t.manifest e
     | _ ->
       (* the caller (a scheduler-drained job) is already on the
          background lane *)
-      let outputs = run_merge t ~inputs_lo ~inputs_hi ~target_level:(level + 1) in
+      let drop_tombstones = merges_target && target >= last_level t.opts in
+      let outputs =
+        run_merge t ~inputs_lo ~inputs_hi ~drop_tombstones
+          ~single_output:(not merges_target)
+      in
       install_compaction t ~level ~inputs_lo ~inputs_hi ~outputs
   end
 
@@ -557,7 +632,7 @@ and submit_level_job t ~blocked level =
                 already relieved (or blocked) this level *)
              if
                (not (Hashtbl.mem blocked level))
-               && compaction_score t level > 0.999
+               && Policy.should_trigger (compaction_score t level)
              then compact_level t level);
        })
 
@@ -571,7 +646,9 @@ and maybe_compact t =
     continue_ := false;
     let submitted = ref [] in
     for level = 0 to t.opts.O.max_levels - 2 do
-      if (not (Hashtbl.mem blocked level)) && compaction_score t level > 0.999
+      if
+        (not (Hashtbl.mem blocked level))
+        && Policy.should_trigger (compaction_score t level)
       then begin
         submit_level_job t ~blocked level;
         submitted :=
@@ -593,6 +670,13 @@ and maybe_compact t =
 (* ---------- open / close ---------- *)
 
 let open_store ?block_cache (opts : O.t) ~env ~dir =
+  (match opts.O.compaction_policy with
+   | O.Flsm_guarded ->
+     invalid_arg
+       "Lsm_store.open_store: the flsm_guarded policy needs guard state \
+        (use the pebblesdb engine)"
+   | O.Leveled | O.Tiered | O.Lazy_leveled -> ());
+  let policy = Policy.of_options opts in
   (* recover the previous shape before touching any file *)
   let levels = Array.make opts.O.max_levels [] in
   let wal_number = ref 0 and next_file = ref 1 and last_seq = ref 0 in
@@ -601,7 +685,7 @@ let open_store ?block_cache (opts : O.t) ~env ~dir =
   (match Manifest.recover env ~dir with
    | Some (_, edits) ->
      List.iter (apply_edit ~levels ~wal_number ~next_file ~last_seq) edits;
-     normalize_levels levels;
+     normalize_levels ~policy ~opts levels;
      let seq, report =
        replay_wal env ~dir ~wal_number:!wal_number ~mem ~last_seq:!last_seq
      in
@@ -628,6 +712,7 @@ let open_store ?block_cache (opts : O.t) ~env ~dir =
   let t =
     {
       opts;
+      policy;
       env;
       dir;
       clock = Env.clock env;
@@ -697,6 +782,7 @@ let stats t =
   st.Pdb_kvs.Engine_stats.stall_slowdown_ns <- s.Scheduler.stall_slowdown_ns;
   st.Pdb_kvs.Engine_stats.stall_stop_ns <- s.Scheduler.stall_stop_ns;
   st.Pdb_kvs.Engine_stats.worker_busy_ns <- Scheduler.busy_ns t.sched;
+  st.Pdb_kvs.Engine_stats.compaction_by_trigger <- s.Scheduler.by_trigger;
   st.Pdb_kvs.Engine_stats.block_cache_hits <-
     Pdb_sstable.Block_cache.hits t.block_cache;
   st.Pdb_kvs.Engine_stats.block_cache_misses <-
@@ -874,18 +960,28 @@ let get ?snapshot t key =
         end
     in
     search_l0 t.levels.(0);
-    (* deeper levels: at most one candidate file per level *)
+    (* deeper levels: leveled layout has at most one candidate file;
+       tiered layout probes every overlapping run, newest first *)
     let level = ref 1 in
     while !result = `NotFound && !level < t.opts.O.max_levels do
-      (match
-         List.find_opt (fun m -> user_range_overlap m key) t.levels.(!level)
-       with
-       | Some m ->
-         (match table_lookup ?snapshot t m key with
-          | Some (Ik.Value, v) -> result := `Found v
-          | Some (Ik.Deletion, _) -> result := `Deleted
-          | None -> ())
-       | None -> ());
+      let candidates =
+        if tiered_level t !level then
+          List.filter (fun m -> user_range_overlap m key) t.levels.(!level)
+        else
+          match
+            List.find_opt (fun m -> user_range_overlap m key) t.levels.(!level)
+          with
+          | Some m -> [ m ]
+          | None -> []
+      in
+      List.iter
+        (fun m ->
+          if !result = `NotFound then
+            match table_lookup ?snapshot t m key with
+            | Some (Ik.Value, v) -> result := `Found v
+            | Some (Ik.Deletion, _) -> result := `Deleted
+            | None -> ())
+        candidates;
       incr level
     done;
     (match !result with `Found v -> Some v | `Deleted | `NotFound -> None)
@@ -898,37 +994,42 @@ let internal_iterator t =
     t.stats.Pdb_kvs.Engine_stats.sstables_examined <-
       t.stats.Pdb_kvs.Engine_stats.sstables_examined + 1
   in
-  let l0_iters =
-    List.map
-      (fun m ->
-        let reader = Pdb_sstable.Table_cache.find t.table_cache m in
-        (* wrap to charge per positioning *)
-        let it =
-          Table.iterator reader ~cache:t.block_cache ~hint:Device.Random_read
-        in
-        {
-          it with
-          Iter.seek =
-            (fun k ->
-              on_table ();
-              it.Iter.seek k);
-          seek_to_first =
-            (fun () ->
-              on_table ();
-              it.Iter.seek_to_first ());
-        })
-      t.levels.(0)
+  (* one iterator per overlapping file (L0 and tiered levels) *)
+  let file_iter m =
+    let reader = Pdb_sstable.Table_cache.find t.table_cache m in
+    (* wrap to charge per positioning *)
+    let it =
+      Table.iterator reader ~cache:t.block_cache ~hint:Device.Random_read
+    in
+    {
+      it with
+      Iter.seek =
+        (fun k ->
+          on_table ();
+          it.Iter.seek k);
+      seek_to_first =
+        (fun () ->
+          on_table ();
+          it.Iter.seek_to_first ());
+    }
   in
+  let l0_iters = List.map file_iter t.levels.(0) in
   let level_iters =
-    List.filter_map
+    List.concat_map
       (fun level ->
         match t.levels.(level) with
-        | [] -> None
+        | [] -> []
         | files ->
-          Some
-            (Pdb_sstable.Level_iter.create ~cache:t.table_cache
-               ~block_cache:t.block_cache ~hint:Device.Random_read ~on_table
-               (Array.of_list files)))
+          if tiered_level t level then
+            (* overlapping runs need independent cursors; the merging
+               iterator resolves versions by sequence number *)
+            List.map file_iter files
+          else
+            [
+              Pdb_sstable.Level_iter.create ~cache:t.table_cache
+                ~block_cache:t.block_cache ~hint:Device.Random_read ~on_table
+                (Array.of_list files);
+            ])
       (List.init (t.opts.O.max_levels - 1) (fun i -> i + 1))
   in
   Pdb_kvs.Merging_iter.create ~compare:Ik.compare
@@ -1005,8 +1106,12 @@ let compact_all t =
           footprint = level_footprint t level;
           run =
             (fun () ->
+              (* a manual merge consumes every overlapping target file, so
+                 tombstones may drop at the bottom under any policy *)
               let outputs =
-                run_merge t ~inputs_lo ~inputs_hi ~target_level:(level + 1)
+                run_merge t ~inputs_lo ~inputs_hi
+                  ~drop_tombstones:(level + 1 >= last_level t.opts)
+                  ~single_output:false
               in
               install_compaction t ~level ~inputs_lo ~inputs_hi ~outputs);
         }
@@ -1021,7 +1126,9 @@ let memory_bytes t =
 
 let describe t =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf (Printf.sprintf "lsm store (%s)\n" t.opts.O.name);
+  Buffer.add_string buf
+    (Printf.sprintf "lsm store (%s, policy=%s)\n" t.opts.O.name
+       t.policy.Policy.name);
   Array.iteri
     (fun level files ->
       if files <> [] then begin
@@ -1050,17 +1157,32 @@ let check_invariants t =
     | [ _ ] | [] -> ()
   in
   check_l0 t.levels.(0);
-  (* levels >= 1: sorted and disjoint *)
+  (* levels >= 1: leveled layout = sorted and disjoint; tiered layout =
+     newest-first (recency order, the property reads rely on) *)
   for level = 1 to t.opts.O.max_levels - 1 do
-    let rec check = function
-      | (a : Table.meta) :: (b : Table.meta) :: rest ->
-        if Ik.compare a.Table.largest b.Table.smallest >= 0 then
-          failwith
-            (Printf.sprintf "lsm invariant: level %d files overlap" level);
-        check (b :: rest)
-      | [ _ ] | [] -> ()
-    in
-    check t.levels.(level)
+    if tiered_level t level then begin
+      let rec check = function
+        | (a : Table.meta) :: (b : Table.meta) :: rest ->
+          if a.Table.number <= b.Table.number then
+            failwith
+              (Printf.sprintf
+                 "lsm invariant: tiered level %d not newest-first" level);
+          check (b :: rest)
+        | [ _ ] | [] -> ()
+      in
+      check t.levels.(level)
+    end
+    else begin
+      let rec check = function
+        | (a : Table.meta) :: (b : Table.meta) :: rest ->
+          if Ik.compare a.Table.largest b.Table.smallest >= 0 then
+            failwith
+              (Printf.sprintf "lsm invariant: level %d files overlap" level);
+          check (b :: rest)
+        | [ _ ] | [] -> ()
+      in
+      check t.levels.(level)
+    end
   done;
   (* every listed file exists *)
   Array.iter
@@ -1073,3 +1195,7 @@ let check_invariants t =
 let level_file_counts t = Array.map List.length t.levels
 let level_sizes t = Array.init t.opts.O.max_levels (level_bytes t)
 let sstable_metas t = Array.to_list t.levels |> List.concat
+
+(* resident tables of one level, in search order (tests) *)
+let level_tables t level = t.levels.(level)
+let policy t = t.policy

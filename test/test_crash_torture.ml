@@ -53,6 +53,25 @@ let check_sharded engine () =
   Alcotest.(check bool) "some points double-crashed during recovery" true
     (r.Torture.double_crashes > 0)
 
+(* The same sweep under a non-default compaction policy: tiered levels'
+   stacked runs and whole-level merges (and the lazy-leveled hybrid) must
+   recover through the same MANIFEST/WAL machinery. *)
+let check_policy policy engine () =
+  let r = Torture.run ~seed ~policy ~max_points:48 engine in
+  (match r.Torture.failures with
+   | [] -> ()
+   | fs ->
+     List.iter
+       (fun (point, msg) ->
+         Printf.printf "[%s crash@%d] %s\n" r.Torture.engine point msg)
+       fs);
+  Alcotest.(check (list (pair int string)))
+    "oracle-consistent recovery at every crash point" [] r.Torture.failures;
+  Alcotest.(check bool)
+    (Printf.sprintf "sweeps >= 30 crash points (got %d)" r.Torture.crash_points)
+    true
+    (r.Torture.crash_points >= 30)
+
 let test_background_crashes_covered () =
   (* across the paper's LSM and FLSM engines the sweep must hit crash
      points inside background flush/compaction jobs *)
@@ -121,6 +140,13 @@ let () =
             (check_sharded Stores.Leveldb);
           Alcotest.test_case "pebblesdb x4 shards" `Slow
             (check_sharded Stores.Pebblesdb);
+        ] );
+      ( "policy sweep",
+        [
+          Alcotest.test_case "hyperleveldb tiered" `Slow
+            (check_policy Pdb_kvs.Options.Tiered Stores.Hyperleveldb);
+          Alcotest.test_case "hyperleveldb lazy_leveled" `Slow
+            (check_policy Pdb_kvs.Options.Lazy_leveled Stores.Hyperleveldb);
         ] );
       ( "schedules",
         [

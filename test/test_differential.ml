@@ -228,6 +228,31 @@ let test_engine engine () =
     replay ~seed (sharded_subject engine 4) ops
   done
 
+(* Each compaction policy replayed against the oracle on the engine that
+   implements it (flsm_guarded -> the FLSM engine, the LSM layouts -> the
+   leveled/tiered engine); tiered levels' overlapping runs and the
+   lazy-leveled hybrid must stay invisible to reads. *)
+let policy_subject policy =
+  let engine = Stores.engine_for_policy Stores.Hyperleveldb policy in
+  let tweak o = { (small o) with O.compaction_policy = policy } in
+  {
+    name =
+      Printf.sprintf "%s/policy=%s"
+        (Stores.engine_name engine)
+        (O.compaction_policy_name policy);
+    dyn = Stores.open_engine ~tweak ~env:(Env.create ()) engine;
+    snapshot = None;
+    get_at = None;
+    release = ignore;
+  }
+
+let n_policy_seeds = 8
+
+let test_policy policy () =
+  for seed = 0 to n_policy_seeds - 1 do
+    replay ~seed (policy_subject policy) (gen_ops seed)
+  done
+
 (* The sharded snapshot machinery is the part most at risk of skew (a
    fence is a vector of per-shard sequences): pin a snapshot, churn every
    key, and demand the pinned view intact. *)
@@ -270,6 +295,15 @@ let () =
                  (Stores.engine_name engine) n_seeds)
               `Slow (test_engine engine))
           engines );
+      ( "compaction policies",
+        List.map
+          (fun policy ->
+            Alcotest.test_case
+              (Printf.sprintf "%s x %d seeds"
+                 (O.compaction_policy_name policy)
+                 n_policy_seeds)
+              `Slow (test_policy policy))
+          O.all_compaction_policies );
       ( "snapshot isolation",
         [
           Alcotest.test_case "pebblesdb x4 shards" `Quick
