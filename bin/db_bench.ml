@@ -27,17 +27,28 @@ let policy_of_string = function
     | Ok p -> Ok (Some p)
     | Error msg -> Error msg)
 
-let run store_name policy_name benchmarks num value_size seed clients shards
-    trace_file =
+let throttle_of_string = function
+  | None -> Ok None
+  | Some s -> (
+    match Pdb_kvs.Options.throttle_of_string s with
+    | Ok t -> Ok (Some t)
+    | Error msg -> Error msg)
+
+let run store_name policy_name throttle_name l0_slowdown l0_stop benchmarks
+    num value_size seed clients shards trace_file =
   match
-    match (engine_of_string store_name, policy_of_string policy_name) with
-    | Error msg, _ | _, Error msg -> Error msg
-    | Ok engine, Ok policy -> Ok (engine, policy)
+    match
+      ( engine_of_string store_name,
+        policy_of_string policy_name,
+        throttle_of_string throttle_name )
+    with
+    | Error msg, _, _ | _, Error msg, _ | _, _, Error msg -> Error msg
+    | Ok engine, Ok policy, Ok throttle -> Ok (engine, policy, throttle)
   with
   | Error msg ->
     prerr_endline msg;
     exit 1
-  | Ok (engine, policy) ->
+  | Ok (engine, policy, throttle) ->
     (* a policy request may remap the engine (flsm_guarded needs guards,
        the LSM layouts need the leveled/tiered engine) *)
     let engine =
@@ -56,6 +67,21 @@ let run store_name policy_name benchmarks num value_size seed clients shards
         match policy with
         | None -> o
         | Some p -> { o with Pdb_kvs.Options.compaction_policy = p }
+      in
+      let o =
+        match throttle with
+        | None -> o
+        | Some t -> { o with Pdb_kvs.Options.throttle = t }
+      in
+      let o =
+        match l0_slowdown with
+        | None -> o
+        | Some n -> { o with Pdb_kvs.Options.l0_slowdown = n }
+      in
+      let o =
+        match l0_stop with
+        | None -> o
+        | Some n -> { o with Pdb_kvs.Options.l0_stop = n }
       in
       if shards <= 1 then o
       else
@@ -240,6 +266,27 @@ let policy_arg =
                  compaction policy, remapping the store to the engine that \
                  implements it when necessary.")
 
+let throttle_arg =
+  Arg.(value & opt (some string) None
+       & info [ "throttle" ] ~docv:"MODE"
+           ~doc:"off | cliff | token_bucket — write-throttle mode: the \
+                 seed Slowdown/Stop cliff, the debt-keyed token bucket \
+                 (profile default), or no write stalls at all.")
+
+let l0_slowdown_arg =
+  Arg.(value & opt (some int) None
+       & info [ "l0-slowdown" ] ~docv:"N"
+           ~doc:"Override the L0 slowdown threshold (debt points past \
+                 which the throttle engages).  The profile defaults never \
+                 fire at bench scale — compaction drains synchronously, so \
+                 L0 stays at or below the compaction trigger.")
+
+let l0_stop_arg =
+  Arg.(value & opt (some int) None
+       & info [ "l0-stop" ] ~docv:"N"
+           ~doc:"Override the L0 stop threshold (debt points at which the \
+                 full per-entry penalty applies).")
+
 let benchmarks_arg =
   Arg.(value
        & opt (list string) [ "fillrandom"; "readrandom"; "seekrandom" ]
@@ -279,7 +326,8 @@ let trace_arg =
 let cmd =
   Cmd.v
     (Cmd.info "db_bench" ~doc:"Micro-benchmarks over the simulated stores")
-    Term.(const run $ store_arg $ policy_arg $ benchmarks_arg $ num_arg
-          $ value_size_arg $ seed_arg $ clients_arg $ shards_arg $ trace_arg)
+    Term.(const run $ store_arg $ policy_arg $ throttle_arg $ l0_slowdown_arg
+          $ l0_stop_arg $ benchmarks_arg $ num_arg $ value_size_arg $ seed_arg
+          $ clients_arg $ shards_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

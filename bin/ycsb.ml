@@ -24,14 +24,24 @@ let ycsb_splits shards =
   List.init (shards - 1) (fun i ->
       Printf.sprintf "user%016Lx" (Int64.mul step (Int64.of_int (i + 1))))
 
-let run store_name policy_name workloads records ops value_size clients shards
-    trace_file =
+let run store_name policy_name throttle_name workloads records ops value_size
+    clients shards trace_file =
   let policy =
     match policy_name with
     | None -> None
     | Some s -> (
       match Pdb_kvs.Options.compaction_policy_of_string s with
       | Ok p -> Some p
+      | Error msg ->
+        prerr_endline msg;
+        exit 1)
+  in
+  let throttle =
+    match throttle_name with
+    | None -> None
+    | Some s -> (
+      match Pdb_kvs.Options.throttle_of_string s with
+      | Ok t -> Some t
       | Error msg ->
         prerr_endline msg;
         exit 1)
@@ -57,6 +67,11 @@ let run store_name policy_name workloads records ops value_size clients shards
         match policy with
         | None -> o
         | Some p -> { o with Pdb_kvs.Options.compaction_policy = p }
+      in
+      let o =
+        match throttle with
+        | None -> o
+        | Some t -> { o with Pdb_kvs.Options.throttle = t }
       in
       if shards <= 1 then o
       else
@@ -124,6 +139,13 @@ let policy_arg =
                  compaction policy, remapping the store to the engine that \
                  implements it when necessary.")
 
+let throttle_arg =
+  Arg.(value & opt (some string) None
+       & info [ "throttle" ] ~docv:"MODE"
+           ~doc:"off | cliff | token_bucket — write-throttle mode: the seed \
+                 Slowdown/Stop cliff, the debt-keyed token bucket (profile \
+                 default), or no write stalls at all.")
+
 let workloads_arg =
   Arg.(value & opt (list string) [ "A"; "B"; "C"; "D"; "E"; "F" ]
        & info [ "workloads" ] ~docv:"LIST" ~doc:"YCSB workloads (A-F).")
@@ -158,7 +180,8 @@ let trace_arg =
 
 let cmd =
   Cmd.v (Cmd.info "ycsb" ~doc:"YCSB benchmark over the simulated stores")
-    Term.(const run $ store_arg $ policy_arg $ workloads_arg $ records_arg
-          $ ops_arg $ value_size_arg $ clients_arg $ shards_arg $ trace_arg)
+    Term.(const run $ store_arg $ policy_arg $ throttle_arg $ workloads_arg
+          $ records_arg $ ops_arg $ value_size_arg $ clients_arg $ shards_arg
+          $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -40,10 +40,10 @@ type t = {
   mutable observer : (Job.t -> unit) option;
 }
 
-let create ?env ~clock ~workers () =
+let create ?env ?(flush_lanes = 0) ~clock ~workers () =
   {
     clock;
-    lanes = Sched.create ~clock ~workers;
+    lanes = Sched.create ~flush_lanes ~clock ~workers ();
     env;
     queue = Queue.create ();
     keys = Hashtbl.create 16;
@@ -64,10 +64,12 @@ let tracer t =
   match t.env with None -> None | Some env -> Pdb_simio.Env.tracer env
 
 let workers t = Sched.workers t.lanes
+let flush_lanes t = Sched.flush_lanes t.lanes
 let pending t = Queue.length t.queue
 let backlog_bytes t = t.backlog_bytes
 let stats t = t.stats
 let busy_ns t = Sched.busy_ns t.lanes
+let flush_busy_ns t = Sched.flush_busy_ns t.lanes
 let jobs_placed t = Sched.jobs_placed t.lanes
 let serialized_jobs t = Sched.serialized_jobs t.lanes
 let horizon_ns t = Sched.horizon_ns t.lanes
@@ -95,13 +97,24 @@ let run_one t (job : Job.t) =
   let duration_ns = t.clock.Clock.background_ns -. before in
   (* zero-cost jobs (e.g. trivial pointer moves) occupy no lane time *)
   if duration_ns > 0.0 then begin
-    let p = Sched.place_span t.lanes job.footprint ~duration_ns in
+    (* flushes ride the reserved lane (when configured): memtable
+       rotation must never wait behind a deep compaction queue *)
+    let cls =
+      match job.Job.trigger with
+      | Job.Memtable_full -> `Flush
+      | _ -> `Worker
+    in
+    let p = Sched.place_span ~cls t.lanes job.footprint ~duration_ns in
+    let lane_name =
+      if p.Sched.lane >= Sched.workers t.lanes then "flush"
+      else Printf.sprintf "worker-%d" p.Sched.lane
+    in
     match tracer t with
     | Some tr ->
       Pdb_simio.Trace.span tr
         ~name:(Job.trigger_name job.trigger)
         ~cat:"compaction"
-        ~lane:(Printf.sprintf "worker-%d" p.Sched.lane)
+        ~lane:lane_name
         ~start_ns:p.Sched.start_ns
         ~dur_ns:(p.Sched.finish_ns -. p.Sched.start_ns)
         ~args:
@@ -138,18 +151,26 @@ let drain t =
     them. *)
 let run_now t job = run_one t job
 
-(** [note_stall t kind ns] records write-stall time already charged to
-    the clock, attributing it to the slowdown or stop threshold. *)
-let note_stall t kind ns =
-  (match kind with
-   | `Slowdown -> t.stats.stall_slowdown_ns <- t.stats.stall_slowdown_ns +. ns
-   | `Stop -> t.stats.stall_stop_ns <- t.stats.stall_stop_ns +. ns);
+(** [note_stall t ~slowdown_ns ~stop_ns] records write-stall time already
+    charged to the clock, pre-split by threshold attribution.  A stall
+    that crossed the Slowdown→Stop boundary carries both parts and is
+    traced as two adjacent spans — slowdown first, then stop — instead of
+    one span of whichever kind held at stall start. *)
+let note_stall t ~slowdown_ns ~stop_ns =
+  t.stats.stall_slowdown_ns <- t.stats.stall_slowdown_ns +. slowdown_ns;
+  t.stats.stall_stop_ns <- t.stats.stall_stop_ns +. stop_ns;
   match tracer t with
   | Some tr ->
     let now = Clock.elapsed_ns (Clock.snapshot t.clock) in
-    Pdb_simio.Trace.span tr
-      ~name:(match kind with `Slowdown -> "stall:slowdown" | `Stop -> "stall:stop")
-      ~cat:"stall" ~lane:"foreground"
-      ~start_ns:(Float.max 0.0 (now -. ns))
-      ~dur_ns:ns ()
+    let total = slowdown_ns +. stop_ns in
+    if slowdown_ns > 0.0 then
+      Pdb_simio.Trace.span tr ~name:"stall:slowdown" ~cat:"stall"
+        ~lane:"foreground"
+        ~start_ns:(Float.max 0.0 (now -. total))
+        ~dur_ns:slowdown_ns ();
+    if stop_ns > 0.0 then
+      Pdb_simio.Trace.span tr ~name:"stall:stop" ~cat:"stall"
+        ~lane:"foreground"
+        ~start_ns:(Float.max 0.0 (now -. stop_ns))
+        ~dur_ns:stop_ns ()
   | None -> ()

@@ -32,6 +32,7 @@ module Job = Pdb_compaction.Job
 module Scheduler = Pdb_compaction.Scheduler
 module Policy = Pdb_compaction.Policy
 module Sched = Pdb_simio.Sched
+module Bp = Pdb_kvs.Backpressure
 
 type t = {
   opts : O.t;
@@ -40,6 +41,7 @@ type t = {
   dir : string;
   clock : Clock.t;
   sched : Scheduler.t; (* shared background-compaction scheduler *)
+  bp : Bp.t; (* shared write-throttling controller (Backpressure) *)
   stats : Stats.t;
   table_cache : Pdb_sstable.Table_cache.t;
   block_cache : Pdb_sstable.Block_cache.t;
@@ -1044,7 +1046,9 @@ let open_store ?block_cache (opts : O.t) ~env ~dir =
       clock = Env.clock env;
       sched =
         Scheduler.create ~env ~clock:(Env.clock env)
+          ~flush_lanes:(if opts.O.flush_reserved_lane then 1 else 0)
           ~workers:opts.O.compaction_threads ();
+      bp = Bp.create opts;
       stats = Stats.create ();
       table_cache =
         Pdb_sstable.Table_cache.create env ~dir
@@ -1107,6 +1111,7 @@ let close t =
 let options t = t.opts
 let env t = t.env
 let compaction_scheduler t = t.sched
+let backpressure t = t.bp
 
 (* mirror the scheduler's counters into the engine stats on read *)
 let stats t =
@@ -1121,6 +1126,7 @@ let stats t =
   st.Stats.stall_slowdown_ns <- s.Scheduler.stall_slowdown_ns;
   st.Stats.stall_stop_ns <- s.Scheduler.stall_stop_ns;
   st.Stats.worker_busy_ns <- Scheduler.busy_ns t.sched;
+  st.Stats.flush_busy_ns <- Scheduler.flush_busy_ns t.sched;
   st.Stats.compaction_by_trigger <- (Scheduler.stats t.sched).Scheduler.by_trigger;
   st.Stats.block_cache_hits <- Pdb_sstable.Block_cache.hits t.block_cache;
   st.Stats.block_cache_misses <- Pdb_sstable.Block_cache.misses t.block_cache;
@@ -1148,21 +1154,32 @@ let write_group t batches =
           let base = t.last_seq + 1 in
           t.last_seq <- t.last_seq + n;
           base);
+      before_group =
+        (fun ~entries ->
+          (* write throttling: the shared controller prices the group
+             against compaction debt — L0 files not yet pushed down plus
+             the scheduler's pending backlog — and the group pays once
+             (it enters the device as one write, so penalizing every
+             record would overcharge the batch it rode in on) *)
+          let debt =
+            {
+              Bp.l0_files = List.length t.l0;
+              pending_jobs = Scheduler.pending t.sched;
+              backlog_bytes = Scheduler.backlog_bytes t.sched;
+            }
+          in
+          let now_ns = Clock.elapsed_ns (Clock.snapshot t.clock) in
+          let v = Bp.throttle t.bp ~now_ns ~debt ~cost:entries in
+          let total = Bp.total_ns v in
+          if total > 0.0 then begin
+            Clock.stall t.clock total;
+            Scheduler.note_stall t.sched ~slowdown_ns:v.Bp.slowdown_ns
+              ~stop_ns:v.Bp.stop_ns;
+            t.stats.Stats.write_stalls <- t.stats.Stats.write_stalls + 1
+          end);
       before_batch =
         (fun batch ->
           let count = Pdb_kvs.Write_batch.count batch in
-          (* stall model: back-pressure from the compaction backlog — L0
-             files not yet pushed down plus jobs still pending in the
-             queue *)
-          let backlog = List.length t.l0 + Scheduler.pending t.sched in
-          if backlog >= t.opts.O.l0_slowdown then begin
-            let ns = t.opts.O.slowdown_stall_ns *. float_of_int count in
-            Clock.stall t.clock ns;
-            Scheduler.note_stall t.sched
-              (if backlog >= t.opts.O.l0_stop then `Stop else `Slowdown)
-              ns;
-            t.stats.Stats.write_stalls <- t.stats.Stats.write_stalls + count
-          end;
           charge_cpu t
             ((t.opts.O.op_overhead_write_ns +. t.opts.O.cpu_per_op_ns)
              *. float_of_int count));

@@ -44,6 +44,11 @@ val stats : t -> Pdb_kvs.Engine_stats.t
     is enqueued as {!Pdb_compaction.Job.t}s and drained through it. *)
 val compaction_scheduler : t -> Pdb_compaction.Scheduler.t
 
+(** The write-throttling controller pacing this store's foreground
+    writes ({!Pdb_kvs.Backpressure}) — the same module the leveled LSM
+    engine uses, so the two can never drift on stall policy. *)
+val backpressure : t -> Pdb_kvs.Backpressure.t
+
 (** {1 Writes (§2.1, §3.4)} *)
 
 val put : t -> string -> string -> unit

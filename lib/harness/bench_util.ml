@@ -326,13 +326,21 @@ let scheduler_summary (store : Dyn.dyn) =
                (if horizon <= 0.0 then 0.0 else 100.0 *. busy /. horizon))
       |> String.concat " "
     in
+    let flush =
+      (* busy time on the reserved flush lane(s), when the engines run
+         one — it is also the last entry of [util] *)
+      if st.Pdb_kvs.Engine_stats.flush_busy_ns > 0.0 then
+        Printf.sprintf " flush=%.1fms"
+          (st.Pdb_kvs.Engine_stats.flush_busy_ns /. 1e6)
+      else ""
+    in
     Printf.sprintf
-      "jobs=%d queue<=%d backlog<=%.1fMB conflicts=%d util=[%s] \
+      "jobs=%d queue<=%d backlog<=%.1fMB conflicts=%d util=[%s]%s \
        stall(slow/stop)=%.1f/%.1fms"
       st.Pdb_kvs.Engine_stats.compaction_jobs
       st.Pdb_kvs.Engine_stats.compaction_queue_peak
       (mb st.Pdb_kvs.Engine_stats.compaction_backlog_peak_bytes)
-      st.Pdb_kvs.Engine_stats.compaction_serialized_jobs util
+      st.Pdb_kvs.Engine_stats.compaction_serialized_jobs util flush
       (st.Pdb_kvs.Engine_stats.stall_slowdown_ns /. 1e6)
       (st.Pdb_kvs.Engine_stats.stall_stop_ns /. 1e6)
   end

@@ -43,7 +43,12 @@ type t = {
       (** estimated bytes across currently pending jobs *)
   mutable stall_slowdown_ns : float;
   mutable stall_stop_ns : float;
-  mutable worker_busy_ns : float array;  (** per-lane busy time *)
+  mutable worker_busy_ns : float array;
+      (** per-lane busy time; general lanes first, then any reserved
+          flush lanes *)
+  mutable flush_busy_ns : float;
+      (** busy time on the reserved flush lane(s); 0 when flushes share
+          the general lanes *)
   (* WAL-recovery accounting, set once at open from the log reader's
      recovery report *)
   mutable wal_records_recovered : int;
@@ -133,6 +138,7 @@ let create () =
     stall_slowdown_ns = 0.0;
     stall_stop_ns = 0.0;
     worker_busy_ns = [||];
+    flush_busy_ns = 0.0;
     wal_records_recovered = 0;
     wal_bytes_dropped = 0;
     wal_batches_rejected = 0;
@@ -212,6 +218,7 @@ let aggregate ~shared_cache per_shard =
       t.stall_slowdown_ns <- t.stall_slowdown_ns +. s.stall_slowdown_ns;
       t.stall_stop_ns <- t.stall_stop_ns +. s.stall_stop_ns;
       t.worker_busy_ns <- Array.append t.worker_busy_ns s.worker_busy_ns;
+      t.flush_busy_ns <- t.flush_busy_ns +. s.flush_busy_ns;
       t.wal_records_recovered <-
         t.wal_records_recovered + s.wal_records_recovered;
       t.wal_bytes_dropped <- t.wal_bytes_dropped + s.wal_bytes_dropped;

@@ -46,6 +46,35 @@ let compaction_policy_of_string = function
 
 let all_compaction_policies = [ Leveled; Tiered; Lazy_leveled; Flsm_guarded ]
 
+(** How foreground writes are throttled against compaction debt (see
+    [Pdb_kvs.Backpressure]).  [Cliff] is the seed LevelDB model: a fixed
+    per-group penalty once L0 crosses [l0_slowdown], classified Stop past
+    [l0_stop].  [Token_bucket] is the smooth controller: a write-rate
+    budget refilled on the simulated clock whose rate degrades
+    continuously with compaction debt (L0 files + backlog bytes), so
+    latency ramps instead of jumping at the thresholds.  [Unthrottled]
+    disables write stalls entirely (measurement baseline only). *)
+type throttle =
+  | Unthrottled
+  | Cliff
+  | Token_bucket
+
+let throttle_name = function
+  | Unthrottled -> "off"
+  | Cliff -> "cliff"
+  | Token_bucket -> "token_bucket"
+
+let throttle_of_string = function
+  | "off" | "none" | "unthrottled" -> Ok Unthrottled
+  | "cliff" -> Ok Cliff
+  | "token_bucket" | "token-bucket" | "tb" -> Ok Token_bucket
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown throttle %S (expected off | cliff | token_bucket)" s)
+
+let all_throttles = [ Unthrottled; Cliff; Token_bucket ]
+
 type t = {
   name : string;
   compaction_policy : compaction_policy;
@@ -74,7 +103,18 @@ type t = {
           eagerly than LevelDB) *)
   op_overhead_write_ns : float;
   op_overhead_read_ns : float;
-  slowdown_stall_ns : float;  (** per-write stall once L0 >= l0_slowdown *)
+  slowdown_stall_ns : float;
+      (** per-entry delay scale of write throttling: the [Cliff] penalty
+          per stalled group, and the [Token_bucket] per-entry delay at
+          exactly the stop threshold *)
+  (* write throttling (Pdb_kvs.Backpressure) *)
+  throttle : throttle;
+  throttle_burst_entries : int;
+      (** token-bucket capacity: entries that may land at full speed
+          before debt-keyed pacing kicks in *)
+  flush_reserved_lane : bool;
+      (** reserve a scheduler lane for memtable flushes so a deep
+          compaction queue can never starve memtable rotation *)
   (* FLSM / PebblesDB parameters (§3.5, §4.4) *)
   top_level_bits : int;  (** trailing hash bits required for a L1 guard *)
   bit_decrement : int;  (** bits relaxed per deeper level *)
@@ -130,6 +170,11 @@ let base =
     op_overhead_write_ns = 8_000.0;
     op_overhead_read_ns = 2_000.0;
     slowdown_stall_ns = 100_000.0;
+    throttle = Token_bucket;
+    (* about half a scaled memtable's worth of 1KB entries: bursts
+       shorter than a flush ride free, sustained overload gets paced *)
+    throttle_burst_entries = 32;
+    flush_reserved_lane = true;
     (* The paper's default of 27 bits suits ~100M keys; scaled to the
        ~50-200k keys of the scaled experiments this is ~17 bits (guard
        density per key is what matters). *)

@@ -25,8 +25,12 @@ type hooks = {
   encode : Write_batch.t -> base_seq:int -> string;
   alloc_seq : int -> int;
       (** [alloc_seq n] allocates [n] sequence numbers, returns the base *)
+  before_group : entries:int -> unit;
+      (** once per commit group, before any batch: write-stall
+          back-pressure is charged here — the group enters the device as
+          one write, so the penalty applies per group, not per record *)
   before_batch : Write_batch.t -> unit;
-      (** per-batch stall back-pressure + foreground CPU charges *)
+      (** per-batch foreground CPU charges *)
   log_append : string list -> unit;
       (** append encoded records to the live WAL in one device write *)
   log_sync : unit -> unit;
@@ -57,6 +61,8 @@ let commit h batches =
         pending := []
       end
     in
+    h.before_group
+      ~entries:(List.fold_left (fun acc b -> acc + h.count b) 0 batches);
     List.iter
       (fun batch ->
         h.before_batch batch;

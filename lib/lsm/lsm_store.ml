@@ -34,6 +34,7 @@ module Job = Pdb_compaction.Job
 module Scheduler = Pdb_compaction.Scheduler
 module Policy = Pdb_compaction.Policy
 module Sched = Pdb_simio.Sched
+module Bp = Pdb_kvs.Backpressure
 
 type t = {
   opts : O.t;
@@ -42,6 +43,7 @@ type t = {
   dir : string;
   clock : Clock.t;
   sched : Scheduler.t; (* shared background-compaction scheduler *)
+  bp : Bp.t; (* shared write-throttling controller (Backpressure) *)
   stats : Pdb_kvs.Engine_stats.t;
   table_cache : Pdb_sstable.Table_cache.t;
   block_cache : Pdb_sstable.Block_cache.t;
@@ -718,7 +720,9 @@ let open_store ?block_cache (opts : O.t) ~env ~dir =
       clock = Env.clock env;
       sched =
         Scheduler.create ~env ~clock:(Env.clock env)
+          ~flush_lanes:(if opts.O.flush_reserved_lane then 1 else 0)
           ~workers:opts.O.compaction_threads ();
+      bp = Bp.create opts;
       stats = Pdb_kvs.Engine_stats.create ();
       table_cache =
         Pdb_sstable.Table_cache.create env ~dir
@@ -765,6 +769,7 @@ let close t =
 let options t = t.opts
 let env t = t.env
 let compaction_scheduler t = t.sched
+let backpressure t = t.bp
 
 (* mirror the scheduler's counters into the engine stats on read *)
 let stats t =
@@ -782,6 +787,7 @@ let stats t =
   st.Pdb_kvs.Engine_stats.stall_slowdown_ns <- s.Scheduler.stall_slowdown_ns;
   st.Pdb_kvs.Engine_stats.stall_stop_ns <- s.Scheduler.stall_stop_ns;
   st.Pdb_kvs.Engine_stats.worker_busy_ns <- Scheduler.busy_ns t.sched;
+  st.Pdb_kvs.Engine_stats.flush_busy_ns <- Scheduler.flush_busy_ns t.sched;
   st.Pdb_kvs.Engine_stats.compaction_by_trigger <- s.Scheduler.by_trigger;
   st.Pdb_kvs.Engine_stats.block_cache_hits <-
     Pdb_sstable.Block_cache.hits t.block_cache;
@@ -826,22 +832,33 @@ let write_group t batches =
           let base = t.last_seq + 1 in
           t.last_seq <- t.last_seq + n;
           base);
+      before_group =
+        (fun ~entries ->
+          (* write throttling: the shared controller prices the group
+             against compaction debt — L0 files not yet pushed down plus
+             the scheduler's pending backlog — and the group pays once
+             (it enters the device as one write, so penalizing every
+             record would overcharge the batch it rode in on) *)
+          let debt =
+            {
+              Bp.l0_files = List.length t.levels.(0);
+              pending_jobs = Scheduler.pending t.sched;
+              backlog_bytes = Scheduler.backlog_bytes t.sched;
+            }
+          in
+          let now_ns = Clock.elapsed_ns (Clock.snapshot t.clock) in
+          let v = Bp.throttle t.bp ~now_ns ~debt ~cost:entries in
+          let total = Bp.total_ns v in
+          if total > 0.0 then begin
+            Clock.stall t.clock total;
+            Scheduler.note_stall t.sched ~slowdown_ns:v.Bp.slowdown_ns
+              ~stop_ns:v.Bp.stop_ns;
+            t.stats.Pdb_kvs.Engine_stats.write_stalls <-
+              t.stats.Pdb_kvs.Engine_stats.write_stalls + 1
+          end);
       before_batch =
         (fun batch ->
           let count = Pdb_kvs.Write_batch.count batch in
-          (* stall model: back-pressure from the compaction backlog — L0
-             files not yet pushed down plus jobs still pending in the
-             queue *)
-          let backlog = List.length t.levels.(0) + Scheduler.pending t.sched in
-          if backlog >= t.opts.O.l0_slowdown then begin
-            let ns = t.opts.O.slowdown_stall_ns *. float_of_int count in
-            Clock.stall t.clock ns;
-            Scheduler.note_stall t.sched
-              (if backlog >= t.opts.O.l0_stop then `Stop else `Slowdown)
-              ns;
-            t.stats.Pdb_kvs.Engine_stats.write_stalls <-
-              t.stats.Pdb_kvs.Engine_stats.write_stalls + count
-          end;
           charge_cpu t (t.opts.O.op_overhead_write_ns *. float_of_int count);
           charge_cpu t (t.opts.O.cpu_per_op_ns *. float_of_int count));
       log_append = (fun records -> Wal.Writer.add_records t.wal records);

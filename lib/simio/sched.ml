@@ -42,7 +42,8 @@ let conflicts a b =
 
 type t = {
   clock : Clock.t;
-  free_at : float array; (* per-lane timeline frontier *)
+  n_workers : int; (* general lanes: indices [0, n_workers) *)
+  free_at : float array; (* per-lane timeline frontier, flush lanes last *)
   busy_ns : float array; (* per-lane cumulative busy time *)
   mutable placed : (footprint * float) list; (* recent jobs: finish times *)
   mutable jobs_placed : int;
@@ -50,21 +51,32 @@ type t = {
       (* jobs whose start was delayed by a conflicting predecessor *)
 }
 
-let create ~clock ~workers =
+let create ?(flush_lanes = 0) ~clock ~workers () =
   let n = max 1 workers in
+  let total = n + max 0 flush_lanes in
   {
     clock;
+    n_workers = n;
     (* a fresh scheduler (e.g. a reopened store) starts at the clock's
        current horizon: it cannot pack work into a closed store's past *)
-    free_at = Array.make n clock.Clock.bg_horizon_ns;
-    busy_ns = Array.make n 0.0;
+    free_at = Array.make total clock.Clock.bg_horizon_ns;
+    busy_ns = Array.make total 0.0;
     placed = [];
     jobs_placed = 0;
     serialized_jobs = 0;
   }
 
-let workers t = Array.length t.free_at
+let workers t = t.n_workers
+let flush_lanes t = Array.length t.free_at - t.n_workers
 let busy_ns t = Array.copy t.busy_ns
+
+let flush_busy_ns t =
+  let acc = ref 0.0 in
+  for i = t.n_workers to Array.length t.busy_ns - 1 do
+    acc := !acc +. t.busy_ns.(i)
+  done;
+  !acc
+
 let jobs_placed t = t.jobs_placed
 let serialized_jobs t = t.serialized_jobs
 
@@ -72,28 +84,45 @@ let horizon_ns t = Array.fold_left Float.max 0.0 t.free_at
 
 type placement = { lane : int; start_ns : float; finish_ns : float }
 
+(** Which lanes a job may occupy: [`Worker] work (compactions) uses the
+    general lanes; [`Flush] work uses the reserved flush lanes when the
+    scheduler has any, falling back to the general lanes otherwise.  The
+    reservation is one-way — compactions can never occupy a flush lane —
+    which is the fairness invariant: however deep the compaction queue
+    packs the worker lanes, a flush starts no later than its footprint
+    conflicts allow. *)
+let lane_range t = function
+  | `Worker -> (0, t.n_workers)
+  | `Flush ->
+    let total = Array.length t.free_at in
+    if total > t.n_workers then (t.n_workers, total) else (0, t.n_workers)
+
 (** [place_span t fp ~duration_ns] puts a completed unit of work on the
-    lane that lets it finish earliest, honouring footprint conflicts;
-    returns the full placement (lane, modeled start and finish) — the
-    tracer uses it to draw per-worker timelines. *)
-let place_span t fp ~duration_ns =
+    lane (within its class) that lets it finish earliest, honouring
+    footprint conflicts; returns the full placement (lane, modeled start
+    and finish) — the tracer uses it to draw per-worker timelines. *)
+let place_span ?(cls = `Worker) t fp ~duration_ns =
   let blocked_until =
     List.fold_left
       (fun acc (g, fin) -> if conflicts fp g then Float.max acc fin else acc)
       0.0 t.placed
   in
-  let lane = ref 0 and start = ref infinity in
-  Array.iteri
-    (fun i free ->
-      let s = Float.max free blocked_until in
-      if s < !start then begin
-        lane := i;
-        start := s
-      end)
-    t.free_at;
+  let lo, hi = lane_range t cls in
+  let lane = ref lo and start = ref infinity in
+  for i = lo to hi - 1 do
+    let s = Float.max t.free_at.(i) blocked_until in
+    if s < !start then begin
+      lane := i;
+      start := s
+    end
+  done;
   (* serialized = the conflict pushed the start past the earliest free
-     lane, i.e. an idle worker could not be used *)
-  if blocked_until > Array.fold_left Float.min infinity t.free_at then
+     eligible lane, i.e. an idle worker could not be used *)
+  let earliest_free = ref infinity in
+  for i = lo to hi - 1 do
+    earliest_free := Float.min !earliest_free t.free_at.(i)
+  done;
+  if blocked_until > !earliest_free then
     t.serialized_jobs <- t.serialized_jobs + 1;
   let finish = !start +. duration_ns in
   t.free_at.(!lane) <- finish;

@@ -26,13 +26,24 @@ val conflicts : footprint -> footprint -> bool
 
 type t
 
-val create : clock:Clock.t -> workers:int -> t
-(** [create ~clock ~workers] makes a scheduler with [max 1 workers]
-    lanes, all free at the clock's current background horizon. *)
+val create : ?flush_lanes:int -> clock:Clock.t -> workers:int -> unit -> t
+(** [create ?flush_lanes ~clock ~workers ()] makes a scheduler with
+    [max 1 workers] general lanes plus [flush_lanes] (default 0) lanes
+    reserved for [`Flush] work, all free at the clock's current
+    background horizon. *)
 
 val workers : t -> int
+(** General (compaction-eligible) lane count, excluding flush lanes. *)
+
+val flush_lanes : t -> int
+(** Lanes reserved for [`Flush] placements. *)
+
 val busy_ns : t -> float array
-(** Per-lane cumulative busy time (copy). *)
+(** Per-lane cumulative busy time (copy); general lanes first, then
+    flush lanes. *)
+
+val flush_busy_ns : t -> float
+(** Cumulative busy time across the reserved flush lanes. *)
 
 val jobs_placed : t -> int
 val serialized_jobs : t -> int
@@ -45,11 +56,15 @@ val horizon_ns : t -> float
 type placement = { lane : int; start_ns : float; finish_ns : float }
 (** Where a job landed: worker lane index and modeled start/finish. *)
 
-val place_span : t -> footprint -> duration_ns:float -> placement
-(** [place_span t fp ~duration_ns] assigns the job to the lane that lets
-    it finish earliest (ties to the lowest index), no earlier than the
-    finish of any conflicting placed job; returns the placement and
-    raises the clock's background horizon to its finish. *)
+val place_span :
+  ?cls:[ `Worker | `Flush ] -> t -> footprint -> duration_ns:float -> placement
+(** [place_span ?cls t fp ~duration_ns] assigns the job to the lane of
+    its class (default [`Worker]) that lets it finish earliest (ties to
+    the lowest index), no earlier than the finish of any conflicting
+    placed job; returns the placement and raises the clock's background
+    horizon to its finish.  [`Flush] jobs use the reserved flush lanes —
+    never contended by [`Worker] jobs — when the scheduler has any, and
+    fall back to the general lanes otherwise. *)
 
 val place : t -> footprint -> duration_ns:float -> float
 (** [place t fp ~duration_ns] is {!place_span} returning only the finish

@@ -153,7 +153,11 @@ let test_lsm_invariants_after_every_job () =
 (* Random fill, modeled elapsed.  FLSM's compaction decomposes into many
    jobs over disjoint guards, so extra worker lanes shorten its background
    completion horizon more than they shorten the leveled LSM's few wide
-   serialized jobs. *)
+   serialized jobs.  The reserved flush lane is disabled so flushes
+   contend with compactions on the worker lanes as in the classical
+   engines — this test isolates how *compaction* packs the lanes as the
+   worker count grows, and the flush lane would hand both engines part of
+   that benefit already at one worker. *)
 let modeled_fill_ns ~pebbles ~threads ~n =
   let env = Env.create () in
   let clock = Env.clock env in
@@ -165,14 +169,21 @@ let modeled_fill_ns ~pebbles ~threads ~n =
     flush ();
     Clock.elapsed_ns (Clock.diff (Clock.snapshot clock) c0)
   in
+  let shared_lanes o = { o with O.flush_reserved_lane = false } in
   if pebbles then begin
-    let db = P.open_store (tiny ~threads (O.pebblesdb ())) ~env ~dir:"db" in
+    let db =
+      P.open_store (shared_lanes (tiny ~threads (O.pebblesdb ()))) ~env
+        ~dir:"db"
+    in
     let e = fill (P.put db) (fun () -> P.flush db) in
     P.close db;
     e
   end
   else begin
-    let db = L.open_store (tiny ~threads (O.hyperleveldb ())) ~env ~dir:"db" in
+    let db =
+      L.open_store (shared_lanes (tiny ~threads (O.hyperleveldb ()))) ~env
+        ~dir:"db"
+    in
     let e = fill (L.put db) (fun () -> L.flush db) in
     L.close db;
     e

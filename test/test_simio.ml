@@ -277,7 +277,7 @@ let test_sched_conflicts () =
 
 let test_sched_disjoint_jobs_overlap () =
   let clock = Clock.create () in
-  let s = Sched.create ~clock ~workers:2 in
+  let s = Sched.create ~clock ~workers:2 () in
   let f1 = Sched.place s (fp 2 ~key_lo:"a" ~key_hi:"g") ~duration_ns:100.0 in
   let f2 = Sched.place s (fp 2 ~key_lo:"g" ~key_hi:"p") ~duration_ns:100.0 in
   check (Alcotest.float 0.001) "first lane" 100.0 f1;
@@ -288,7 +288,7 @@ let test_sched_disjoint_jobs_overlap () =
 
 let test_sched_conflicting_jobs_serialize () =
   let clock = Clock.create () in
-  let s = Sched.create ~clock ~workers:2 in
+  let s = Sched.create ~clock ~workers:2 () in
   (* overlapping guard ranges on the same level must serialise even though
      a second worker lane is idle *)
   let f1 = Sched.place s (fp 2 ~key_lo:"a" ~key_hi:"m") ~duration_ns:100.0 in
@@ -301,7 +301,7 @@ let test_sched_conflicting_jobs_serialize () =
 
 let test_sched_single_worker_packs_sequentially () =
   let clock = Clock.create () in
-  let s = Sched.create ~clock ~workers:1 in
+  let s = Sched.create ~clock ~workers:1 () in
   ignore (Sched.place s (fp 1 ~key_lo:"a" ~key_hi:"b") ~duration_ns:100.0);
   let f = Sched.place s (fp 1 ~key_lo:"x" ~key_hi:"y") ~duration_ns:100.0 in
   check (Alcotest.float 0.001) "disjoint jobs still queue on one lane" 200.0 f
