@@ -35,7 +35,8 @@ let throttle_of_string = function
     | Error msg -> Error msg)
 
 let run store_name policy_name throttle_name l0_slowdown l0_stop benchmarks
-    num value_size seed clients shards trace_file =
+    num value_size seed clients shards probe_budget no_seek_filtering
+    table_cache table_cache_bytes trace_file =
   match
     match
       ( engine_of_string store_name,
@@ -82,6 +83,26 @@ let run store_name policy_name throttle_name l0_slowdown l0_stop benchmarks
         match l0_stop with
         | None -> o
         | Some n -> { o with Pdb_kvs.Options.l0_stop = n }
+      in
+      let o =
+        match probe_budget with
+        | None -> o
+        | Some n -> { o with Pdb_kvs.Options.probe_budget_override = Some n }
+      in
+      let o =
+        if no_seek_filtering then
+          { o with Pdb_kvs.Options.seek_filtering = false }
+        else o
+      in
+      let o =
+        match table_cache with
+        | None -> o
+        | Some n -> { o with Pdb_kvs.Options.table_cache_entries = n }
+      in
+      let o =
+        match table_cache_bytes with
+        | None -> o
+        | Some n -> { o with Pdb_kvs.Options.table_cache_bytes = Some n }
       in
       if shards <= 1 then o
       else
@@ -230,7 +251,16 @@ let run store_name policy_name throttle_name l0_slowdown l0_stop benchmarks
            | s -> Printf.printf "  compaction: %s\n%!" s);
           (match B.trigger_summary store with
            | "" -> ()
-           | s -> Printf.printf "  by-trigger: %s\n%!" s)
+           | s -> Printf.printf "  by-trigger: %s\n%!" s);
+          let st = store.Dyn.d_stats () in
+          Printf.printf
+            "  read path: seek-filter checks %d / skips %d, index-summary \
+             hits %d / misses %d\n\
+             %!"
+            st.Pdb_kvs.Engine_stats.seek_bloom_checks
+            st.Pdb_kvs.Engine_stats.seek_bloom_skips
+            st.Pdb_kvs.Engine_stats.summary_hits
+            st.Pdb_kvs.Engine_stats.summary_misses
         | other -> Printf.printf "unknown benchmark %S (skipped)\n%!" other);
         L.print_summary ~indent:"               " lat)
       benchmarks;
@@ -316,6 +346,33 @@ let shards_arg =
                  instances (each with its own WAL, memtable and compaction \
                  scheduler); 1 = plain single store.")
 
+let probe_budget_arg =
+  Arg.(value & opt (some int) None
+       & info [ "probe-budget" ] ~docv:"N"
+           ~doc:"Override the device's parallel-probe budget: concurrent \
+                 sstable probes a multi-table seek or get may overlap; 1 \
+                 serialises every probe.")
+
+let no_seek_filtering_arg =
+  Arg.(value & flag
+       & info [ "no-seek-filtering" ]
+           ~doc:"Disable read-path seek filtering (per-table range and \
+                 prefix-bloom checks); on-disk state is unaffected either \
+                 way.")
+
+let table_cache_arg =
+  Arg.(value & opt (some int) None
+       & info [ "table-cache" ] ~docv:"N"
+           ~doc:"Cap the table cache at N open sstables (index + filter \
+                 resident); evicted tables reopen through their index \
+                 summaries.")
+
+let table_cache_bytes_arg =
+  Arg.(value & opt (some int) None
+       & info [ "table-cache-bytes" ] ~docv:"BYTES"
+           ~doc:"Bound the table cache by resident bytes instead of entry \
+                 count.")
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -328,6 +385,8 @@ let cmd =
     (Cmd.info "db_bench" ~doc:"Micro-benchmarks over the simulated stores")
     Term.(const run $ store_arg $ policy_arg $ throttle_arg $ l0_slowdown_arg
           $ l0_stop_arg $ benchmarks_arg $ num_arg $ value_size_arg $ seed_arg
-          $ clients_arg $ shards_arg $ trace_arg)
+          $ clients_arg $ shards_arg $ probe_budget_arg
+          $ no_seek_filtering_arg $ table_cache_arg $ table_cache_bytes_arg
+          $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -5,77 +5,97 @@
     iterator concatenates guard merges in order.  Empty guards are skipped
     (the paper notes reads "skip over empty guards", §3.3).
 
-    When [parallel] is set (PebblesDB's parallel seeks, used for the last
-    level, §4.2), positioning the tables of a guard charges the device for
-    the *slowest* table only: each table's positioning cost is measured and
-    the remainder refunded, modelling overlapped IO; the modeled CPU cost
-    is still paid per table. *)
+    A guard probe is the FLSM's read-cost hot spot: a seek must position
+    every table of the target guard (§3.4).  Two read-path optimisations
+    apply here:
+    - a {!Pdb_sstable.Seek_filter} skips guard members whose key range or
+      prefix bloom proves them disjoint from the probe range, so they are
+      never opened;
+    - a {!Pdb_simio.Probe} context brackets the guard probe in a session
+      (label ["guard"]; nested inside an engine seek session it folds into
+      the outer one), measuring each surviving table's positioning cost so
+      the independent reads overlap up to the device's parallel-probe
+      budget while the modeled CPU stays serialized. *)
 
 module Ik = Pdb_kvs.Internal_key
 module Iter = Pdb_kvs.Iter
-module Clock = Pdb_simio.Clock
 module Table = Pdb_sstable.Table
+module Seek_filter = Pdb_sstable.Seek_filter
+module Probe = Pdb_simio.Probe
 
-let create ~(level : Guard.level) ~cache ~block_cache ~hint ~on_table
-    ~(parallel : Clock.t option) () =
+let create ?(filter = Seek_filter.none) ?probe ~(level : Guard.level) ~cache
+    ~block_cache ~hint ~on_table () =
   let nguards () = Array.length level.Guard.guards in
   let cur_guard = ref (-1) in
   let merged = ref None in
-  (* Position every table of guard [gi]; [target = None] means first key. *)
+  let measure f =
+    match probe with Some ctx -> Probe.measure ctx f | None -> f ()
+  in
+  (* Position every surviving table of guard [gi]; [target = None] means
+     first key. *)
   let position_guard gi target =
     cur_guard := gi;
     let tables = level.Guard.guards.(gi).Guard.tables in
     match tables with
     | [] -> merged := None
     | _ ->
-      let costs = ref [] in
-      let children =
-        List.map
+      let children = ref [] in
+      let probe_tables () =
+        List.iter
           (fun m ->
-            let before =
-              match parallel with
-              | Some clock -> Clock.lane_time clock
-              | None -> 0.0
+            let skip =
+              match target with
+              | Some k -> Seek_filter.skip_seek filter m ~target:k
+              | None -> Seek_filter.skip_first filter m
             in
-            let reader = Pdb_sstable.Table_cache.find cache m in
-            let it = Table.iterator reader ~cache:block_cache ~hint in
-            on_table ();
-            (match target with
-             | Some k -> it.Iter.seek k
-             | None -> it.Iter.seek_to_first ());
-            (match parallel with
-             | Some clock -> costs := (Clock.lane_time clock -. before) :: !costs
-             | None -> ());
-            it)
+            if not skip then
+              measure (fun () ->
+                let reader = Pdb_sstable.Table_cache.find cache m in
+                let it = Table.iterator reader ~cache:block_cache ~hint in
+                on_table ();
+                (match target with
+                 | Some k -> it.Iter.seek k
+                 | None -> it.Iter.seek_to_first ());
+                children := it :: !children))
           tables
       in
-      (match parallel with
-       | Some clock ->
-         (* overlap the reads: pay the slowest plus a queueing share of the
-            rest (parallel IO on flash is fast but not free, §3.4) *)
-         let total = List.fold_left ( +. ) 0.0 !costs in
-         let slowest = List.fold_left Float.max 0.0 !costs in
-         if total > slowest then
-           Clock.refund clock (0.5 *. (total -. slowest))
-       | None -> ());
+      (match probe with
+       | Some ctx -> Probe.with_session ctx ~label:"guard" probe_tables
+       | None -> probe_tables ());
       merged :=
-        Some
-          (Pdb_kvs.Merging_iter.create ~positioned:true ~compare:Ik.compare
-             children)
+        (match !children with
+         | [] -> None
+         | cs ->
+           Some
+             (Pdb_kvs.Merging_iter.create ~positioned:true ~compare:Ik.compare
+                cs))
   in
   let current () =
     match !merged with
     | Some it when it.Iter.valid () -> Some it
     | Some _ | None -> None
   in
+  (* A bounded scan stops walking guards once a guard's key exceeds the
+     upper bound — every key it owns is provably out of range. *)
+  let guard_past_upper gi =
+    match Seek_filter.upper_user filter with
+    | None -> false
+    | Some up ->
+      gi > 0 && String.compare level.Guard.guards.(gi).Guard.gkey up > 0
+  in
   let rec skip_empty_forward () =
     match current () with
     | Some _ -> ()
     | None ->
-      if !cur_guard >= 0 && !cur_guard + 1 < nguards () then begin
-        position_guard (!cur_guard + 1) None;
-        skip_empty_forward ()
-      end
+      if !cur_guard >= 0 && !cur_guard + 1 < nguards () then
+        if guard_past_upper (!cur_guard + 1) then begin
+          cur_guard := nguards ();
+          merged := None
+        end
+        else begin
+          position_guard (!cur_guard + 1) None;
+          skip_empty_forward ()
+        end
   in
   {
     Iter.seek_to_first =

@@ -5,18 +5,19 @@
     iterator concatenates guard merges in order.  Empty guards are skipped
     (§3.3).
 
-    When [parallel] carries the store's clock (PebblesDB's parallel seeks,
-    applied to the deepest populated level, §4.2), positioning a guard's
-    tables charges the device mostly for the slowest table — overlapped IO
-    with a queueing share for the rest; the modeled CPU is still paid per
-    table. *)
+    [filter] skips guard members provably disjoint from the probe range
+    (key range past the target or upper bound, prefix bloom negative);
+    [probe] brackets each guard probe in a parallel-probe session so the
+    surviving tables' reads overlap up to the device budget (§4.2's
+    parallel seeks, generalised). *)
 
 val create :
+  ?filter:Pdb_sstable.Seek_filter.t ->
+  ?probe:Pdb_simio.Probe.ctx ->
   level:Guard.level ->
   cache:Pdb_sstable.Table_cache.t ->
   block_cache:Pdb_sstable.Block_cache.t ->
   hint:Pdb_simio.Device.read_hint ->
   on_table:(unit -> unit) ->
-  parallel:Pdb_simio.Clock.t option ->
   unit ->
   Pdb_kvs.Iter.t

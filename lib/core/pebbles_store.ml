@@ -43,6 +43,7 @@ type t = {
   sched : Scheduler.t; (* shared background-compaction scheduler *)
   bp : Bp.t; (* shared write-throttling controller (Backpressure) *)
   stats : Stats.t;
+  probe : Pdb_simio.Probe.ctx; (* parallel-probe budget sessions *)
   table_cache : Pdb_sstable.Table_cache.t;
   block_cache : Pdb_sstable.Block_cache.t;
   mutable mem : Pdb_kvs.Memtable.t;
@@ -120,6 +121,7 @@ let note_guard_candidate t key =
 
 let make_builder t =
   Table.Builder.create t.env ~dir:t.dir ~number:(new_file_number t)
+    ~prefix_bloom_len:t.opts.O.prefix_bloom_len
     ~block_bytes:t.opts.O.block_bytes ~bloom:t.opts.O.sstable_bloom
     ~expected_keys:(max 16 (t.opts.O.sstable_target_bytes / 64))
 
@@ -1050,8 +1052,17 @@ let open_store ?block_cache (opts : O.t) ~env ~dir =
           ~workers:opts.O.compaction_threads ();
       bp = Bp.create opts;
       stats = Stats.create ();
+      probe =
+        Pdb_simio.Probe.create_ctx ~clock:(Env.clock env)
+          ~budget:(fun () ->
+            match opts.O.probe_budget_override with
+            | Some b -> b
+            | None -> (Env.device env).Device.parallel_probe_budget)
+          ~tracer:(fun () -> Env.tracer env)
+          ();
       table_cache =
-        Pdb_sstable.Table_cache.create env ~dir
+        Pdb_sstable.Table_cache.create ?bytes:opts.O.table_cache_bytes
+          ~summary_stride:opts.O.index_summary_stride env ~dir
           ~entries:opts.O.table_cache_entries;
       block_cache =
         (match block_cache with
@@ -1132,6 +1143,9 @@ let stats t =
   st.Stats.block_cache_misses <- Pdb_sstable.Block_cache.misses t.block_cache;
   st.Stats.table_cache_hits <- Pdb_sstable.Table_cache.hits t.table_cache;
   st.Stats.table_cache_misses <- Pdb_sstable.Table_cache.misses t.table_cache;
+  st.Stats.summary_hits <- Pdb_sstable.Table_cache.summary_hits t.table_cache;
+  st.Stats.summary_misses <-
+    Pdb_sstable.Table_cache.summary_misses t.table_cache;
   st
 
 (* ---------- writes ---------- *)
@@ -1250,35 +1264,39 @@ let release_snapshot t s = Pdb_kvs.Snapshots.release t.snapshots s
 (* ---------- reads (§3.4 Get, §4.1) ---------- *)
 
 let table_lookup ?snapshot t (meta : Table.meta) key =
-  charge_cpu t t.opts.O.cpu_per_sstable_ns;
-  t.stats.Stats.sstables_examined <- t.stats.Stats.sstables_examined + 1;
-  let reader = Pdb_sstable.Table_cache.find t.table_cache meta in
-  let pass_bloom =
-    if Table.has_filter reader then begin
-      charge_cpu t t.opts.O.cpu_bloom_check_ns;
-      t.stats.Stats.bloom_checks <- t.stats.Stats.bloom_checks + 1;
-      let pass = Table.may_contain reader key in
-      if not pass then
-        t.stats.Stats.bloom_negative <- t.stats.Stats.bloom_negative + 1;
-      pass
-    end
-    else true
-  in
-  if not pass_bloom then None
-  else begin
-    charge_cpu t t.opts.O.cpu_per_block_search_ns;
-    let lookup =
-      match snapshot with
-      | Some seq -> Ik.lookup_at ~user_key:key ~seq
-      | None -> Ik.max_for_lookup key
-    in
-    match
-      Table.get reader ~cache:t.block_cache ~hint:Device.Random_read lookup
-    with
-    | Some (ikey, value) when String.equal (Ik.user_key ikey) key ->
-      Some (Ik.kind ikey, value)
-    | Some _ | None -> None
-  end
+  (* inside a probe session (multi-table get) each lookup's device time is
+     measured so independent table probes overlap up to the budget *)
+  Pdb_simio.Probe.measure t.probe (fun () ->
+      charge_cpu t t.opts.O.cpu_per_sstable_ns;
+      t.stats.Stats.sstables_examined <- t.stats.Stats.sstables_examined + 1;
+      let reader = Pdb_sstable.Table_cache.find t.table_cache meta in
+      let pass_bloom =
+        if Table.has_filter reader then begin
+          charge_cpu t t.opts.O.cpu_bloom_check_ns;
+          t.stats.Stats.bloom_checks <- t.stats.Stats.bloom_checks + 1;
+          let pass = Table.may_contain reader key in
+          if not pass then
+            t.stats.Stats.bloom_negative <- t.stats.Stats.bloom_negative + 1;
+          pass
+        end
+        else true
+      in
+      if not pass_bloom then None
+      else begin
+        charge_cpu t t.opts.O.cpu_per_block_search_ns;
+        let lookup =
+          match snapshot with
+          | Some seq -> Ik.lookup_at ~user_key:key ~seq
+          | None -> Ik.max_for_lookup key
+        in
+        match
+          Table.get reader ~cache:t.block_cache ~hint:Device.Random_read
+            lookup
+        with
+        | Some (ikey, value) when String.equal (Ik.user_key ikey) key ->
+          Some (Ik.kind ikey, value)
+        | Some _ | None -> None
+      end)
 
 let get ?snapshot t key =
   assert (not t.closed);
@@ -1293,83 +1311,86 @@ let get ?snapshot t key =
   | Some (Some v) -> Some v
   | Some None -> None
   | None ->
-    let result = ref `NotFound in
-    (* L0: newest first *)
-    List.iter
-      (fun (m : Table.meta) ->
-        if !result = `NotFound && user_range_overlap m key then
-          match table_lookup ?snapshot t m key with
-          | Some (Ik.Value, v) -> result := `Found v
-          | Some (Ik.Deletion, _) -> result := `Deleted
-          | None -> ())
-      t.l0;
-    (* one guard per deeper level; tables newest first *)
-    let level = ref 1 in
-    while !result = `NotFound && !level <= last_level t do
-      let lvl = t.levels.(!level) in
-      charge_cpu t t.opts.O.cpu_per_block_search_ns (* guard binary search *);
-      let gi = Guard.guard_index lvl key in
-      List.iter
-        (fun (m : Table.meta) ->
-          if !result = `NotFound && user_range_overlap m key then
-            match table_lookup ?snapshot t m key with
-            | Some (Ik.Value, v) -> result := `Found v
-            | Some (Ik.Deletion, _) -> result := `Deleted
-            | None -> ())
-        lvl.Guard.guards.(gi).Guard.tables;
-      incr level
-    done;
-    (match !result with `Found v -> Some v | `Deleted | `NotFound -> None)
+    (* the candidate tables of one lookup are independent random reads:
+       bracket them in a probe session so they overlap up to the budget *)
+    Pdb_simio.Probe.with_session t.probe ~label:"get" (fun () ->
+        let result = ref `NotFound in
+        (* L0: newest first *)
+        List.iter
+          (fun (m : Table.meta) ->
+            if !result = `NotFound && user_range_overlap m key then
+              match table_lookup ?snapshot t m key with
+              | Some (Ik.Value, v) -> result := `Found v
+              | Some (Ik.Deletion, _) -> result := `Deleted
+              | None -> ())
+          t.l0;
+        (* one guard per deeper level; tables newest first *)
+        let level = ref 1 in
+        while !result = `NotFound && !level <= last_level t do
+          let lvl = t.levels.(!level) in
+          charge_cpu t t.opts.O.cpu_per_block_search_ns
+            (* guard binary search *);
+          let gi = Guard.guard_index lvl key in
+          List.iter
+            (fun (m : Table.meta) ->
+              if !result = `NotFound && user_range_overlap m key then
+                match table_lookup ?snapshot t m key with
+                | Some (Ik.Value, v) -> result := `Found v
+                | Some (Ik.Deletion, _) -> result := `Deleted
+                | None -> ())
+            lvl.Guard.guards.(gi).Guard.tables;
+          incr level
+        done;
+        match !result with `Found v -> Some v | `Deleted | `NotFound -> None)
 
 (* ---------- iterators (§3.4 Range Queries, §4.2) ---------- *)
 
-let internal_iterator t =
+(* [upper_user] is the iterator's inclusive user-key bound: it licenses the
+   seek filter to skip tables past it, and {!iterator} clamps the merged
+   output so skipped tables are unobservable. *)
+let internal_iterator ?upper_user t =
   let on_table () =
     charge_cpu t t.opts.O.cpu_per_sstable_ns;
     t.stats.Stats.sstables_examined <- t.stats.Stats.sstables_examined + 1
   in
+  let filter =
+    Pdb_sstable.Seek_filter.create ?upper_user
+      ~filtering:t.opts.O.seek_filtering
+      ~peek:(Pdb_sstable.Table_cache.peek t.table_cache)
+      ~on_check:(fun ~skipped ->
+        t.stats.Stats.seek_bloom_checks <- t.stats.Stats.seek_bloom_checks + 1;
+        if skipped then
+          t.stats.Stats.seek_bloom_skips <- t.stats.Stats.seek_bloom_skips + 1)
+      ()
+  in
+  (* L0 tables overlap arbitrarily, so every seek probes all of them:
+     lazy filtered wrappers skip the provably-disjoint ones and measure
+     the rest for the probe session *)
   let l0_iters =
     List.map
       (fun m ->
-        let reader = Pdb_sstable.Table_cache.find t.table_cache m in
         let it =
-          Table.iterator reader ~cache:t.block_cache ~hint:Device.Random_read
+          Pdb_sstable.Seek_filter.table_iterator filter ~cache:t.table_cache
+            ~block_cache:t.block_cache ~hint:Device.Random_read ~on_table m
         in
         {
           it with
           Iter.seek =
             (fun k ->
-              on_table ();
-              it.Iter.seek k);
+              Pdb_simio.Probe.measure t.probe (fun () -> it.Iter.seek k));
           seek_to_first =
             (fun () ->
-              on_table ();
-              it.Iter.seek_to_first ());
+              Pdb_simio.Probe.measure t.probe (fun () ->
+                  it.Iter.seek_to_first ()));
         })
       t.l0
-  in
-  (* the deepest level actually holding data: parallel seeks target it
-     because its data "is not recent, and therefore not likely to be
-     cached" (§4.2) *)
-  let deepest_populated =
-    let rec find level =
-      if level <= 1 then 1
-      else if Guard.table_count t.levels.(level) > 0 then level
-      else find (level - 1)
-    in
-    find (last_level t)
   in
   let level_iters =
     List.init (last_level t) (fun i ->
         let level = i + 1 in
-        let parallel =
-          if t.opts.O.parallel_seeks && level = deepest_populated then
-            Some t.clock
-          else None
-        in
-        Flsm_level_iter.create ~level:t.levels.(level) ~cache:t.table_cache
-          ~block_cache:t.block_cache ~hint:Device.Random_read ~on_table
-          ~parallel ())
+        Flsm_level_iter.create ~filter ~probe:t.probe
+          ~level:t.levels.(level) ~cache:t.table_cache
+          ~block_cache:t.block_cache ~hint:Device.Random_read ~on_table ())
   in
   Pdb_kvs.Merging_iter.create ~compare:Ik.compare
     ((Pdb_kvs.Memtable.iterator t.mem :: l0_iters) @ level_iters)
@@ -1385,25 +1406,46 @@ let note_seek t =
     end
   end
 
-let iterator ?snapshot t =
+let iterator ?snapshot ?upper_bound t =
   assert (not t.closed);
   gc_obsolete t;
-  let db = Pdb_kvs.Db_iter.wrap ?snapshot (internal_iterator t) in
+  let db =
+    Pdb_kvs.Db_iter.wrap ?snapshot
+      (internal_iterator ?upper_user:upper_bound t)
+  in
+  (* the bound is semantic: output is clamped to keys <= upper_bound, so
+     tables the seek filter skipped as past-the-bound are unobservable *)
+  let in_bound () =
+    match upper_bound with
+    | None -> true
+    | Some up -> String.compare (db.Iter.key ()) up <= 0
+  in
+  let valid () = db.Iter.valid () && in_bound () in
   {
-    db with
     Iter.seek =
       (fun k ->
         note_seek t;
-        db.Iter.seek k);
+        Pdb_simio.Probe.with_session t.probe ~label:"seek" (fun () ->
+            db.Iter.seek k));
     seek_to_first =
       (fun () ->
         note_seek t;
-        db.Iter.seek_to_first ());
+        Pdb_simio.Probe.with_session t.probe ~label:"seek" (fun () ->
+            db.Iter.seek_to_first ()));
     next =
       (fun () ->
         t.stats.Stats.nexts <- t.stats.Stats.nexts + 1;
         charge_cpu t t.opts.O.cpu_per_op_ns;
         db.Iter.next ());
+    valid;
+    key =
+      (fun () ->
+        if valid () then db.Iter.key ()
+        else invalid_arg "iterator: iterator is not valid");
+    value =
+      (fun () ->
+        if valid () then db.Iter.value ()
+        else invalid_arg "iterator: iterator is not valid");
   }
 
 (* ---------- maintenance ---------- *)
@@ -1442,9 +1484,17 @@ let memory_bytes t =
     !sum
   in
   let filters_and_indexes =
+    (* prefer the actual decoded footprint (open reader or summary) over
+       the bits-per-key estimate: the estimate drifts from reality when
+       tables are smaller than sstable_target_bytes or carry prefix
+       probes, and stats should not disagree with the cache's own
+       accounting *)
     let per_file (m : Table.meta) =
-      (m.Table.entries * t.opts.O.bloom_bits_per_key / 8)
-      + (((m.Table.file_size / t.opts.O.block_bytes) + 1) * 24)
+      match Pdb_sstable.Table_cache.known_resident_bytes t.table_cache m with
+      | Some b -> b
+      | None ->
+        (m.Table.entries * t.opts.O.bloom_bits_per_key / 8)
+        + (((m.Table.file_size / t.opts.O.block_bytes) + 1) * 24)
     in
     let sum = ref 0 in
     List.iter (fun m -> sum := !sum + per_file m) t.l0;

@@ -75,10 +75,13 @@ val flush : t -> unit
     almost all of the guard's sstables. *)
 val get : ?snapshot:int -> t -> string -> string option
 
-(** [iterator ?snapshot t] is a database iterator over live user keys.
-    Iterators are invalidated by writes (no pinning); seeks feed the
-    seek-triggered compaction heuristic (§4.2). *)
-val iterator : ?snapshot:int -> t -> Pdb_kvs.Iter.t
+(** [iterator ?snapshot ?upper_bound t] is a database iterator over live
+    user keys.  Iterators are invalidated by writes (no pinning); seeks
+    feed the seek-triggered compaction heuristic (§4.2) and run inside a
+    parallel-probe session (§4.2's parallel seeks, budgeted by the
+    device).  [upper_bound] is an inclusive user-key bound: output is
+    clamped to it, and the seek filter may skip any sstable past it. *)
+val iterator : ?snapshot:int -> ?upper_bound:string -> t -> Pdb_kvs.Iter.t
 
 (** {1 Snapshots} *)
 

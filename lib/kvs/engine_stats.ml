@@ -20,6 +20,16 @@ type t = {
   mutable sstables_examined : int;  (** tables consulted across all queries *)
   mutable bloom_checks : int;
   mutable bloom_negative : int;  (** tables skipped thanks to a filter *)
+  mutable seek_bloom_checks : int;
+      (** tables evaluated against the seek/scan range+prefix filter *)
+  mutable seek_bloom_skips : int;
+      (** tables skipped on the seek path: provably disjoint from the
+          probe range, so no index probe or data-block read was issued *)
+  mutable summary_hits : int;
+      (** evicted-table reopens served by a resident index summary (one
+          bounded index read instead of footer+index+filter) *)
+  mutable summary_misses : int;
+      (** full-cost table opens: no summary existed yet *)
   mutable write_stalls : int;
   mutable guards_committed : int;  (** FLSM only *)
   mutable guards_empty : int;  (** FLSM only; refreshed on demand *)
@@ -123,6 +133,10 @@ let create () =
     sstables_examined = 0;
     bloom_checks = 0;
     bloom_negative = 0;
+    seek_bloom_checks = 0;
+    seek_bloom_skips = 0;
+    summary_hits = 0;
+    summary_misses = 0;
     write_stalls = 0;
     guards_committed = 0;
     guards_empty = 0;
@@ -195,6 +209,11 @@ let aggregate ~shared_cache per_shard =
       t.sstables_examined <- t.sstables_examined + s.sstables_examined;
       t.bloom_checks <- t.bloom_checks + s.bloom_checks;
       t.bloom_negative <- t.bloom_negative + s.bloom_negative;
+      t.seek_bloom_checks <- t.seek_bloom_checks + s.seek_bloom_checks;
+      t.seek_bloom_skips <- t.seek_bloom_skips + s.seek_bloom_skips;
+      (* summaries live in the per-shard table caches, so they always sum *)
+      t.summary_hits <- t.summary_hits + s.summary_hits;
+      t.summary_misses <- t.summary_misses + s.summary_misses;
       t.write_stalls <- t.write_stalls + s.write_stalls;
       t.guards_committed <- t.guards_committed + s.guards_committed;
       t.guards_empty <- t.guards_empty + s.guards_empty;

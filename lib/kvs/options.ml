@@ -91,9 +91,23 @@ type t = {
   (* caching *)
   block_cache_bytes : int;
   table_cache_entries : int;  (** open tables whose index/filter stay cached *)
+  table_cache_bytes : int option;
+      (** when set, the table cache is bounded by the resident bytes
+          (index + filter) of its open tables instead of the entry count *)
+  index_summary_stride : int;
+      (** keep a compressed in-memory summary (every Nth index entry,
+          shared-prefix truncated) per table above the table cache, so an
+          evicted table reopens with one bounded index read instead of
+          footer+index+filter; [0] disables summaries *)
   (* bloom *)
   sstable_bloom : bool;  (** per-sstable filters (PebblesDB §4.1) *)
   bloom_bits_per_key : int;
+  prefix_bloom_len : int;
+      (** also add each distinct [prefix_bloom_len]-byte user-key prefix
+          to the sstable filter, letting prefix-bounded scans skip tables
+          that provably hold no key with the scan's prefix; [0] disables.
+          Recorded in the table footer, so mixed-configuration stores stay
+          sound.  Requires [sstable_bloom]. *)
   (* durability *)
   wal_sync_writes : bool;  (** fsync the WAL on every batch *)
   (* engineering constants (see module doc) *)
@@ -123,7 +137,14 @@ type t = {
   seek_compaction_threshold : int;  (** consecutive seeks triggering compaction *)
   aggressive_level_ratio : float;
       (** compact level i when size(i) >= ratio * size(i+1) (default 0.25) *)
-  parallel_seeks : bool;  (** overlap last-level sstable reads on seek *)
+  seek_filtering : bool;
+      (** consult per-table range (and prefix-bloom) filters on the seek
+          and scan path, skipping tables provably disjoint from the probe
+          range; read-path only — never changes on-disk bytes *)
+  probe_budget_override : int option;
+      (** override the device profile's [parallel_probe_budget] for this
+          store; [Some 1] serialises multi-table probes (the measurement
+          baseline), [None] uses the device's budget *)
   seek_based_compaction : bool;
       (** compact guards after a run of consecutive seeks (§4.2) *)
   last_level_merge_io_factor : float;
@@ -162,8 +183,11 @@ let base =
     block_bytes = 4 * 1024;
     block_cache_bytes = 8 * 1024 * 1024;
     table_cache_entries = 4000;
+    table_cache_bytes = None;
+    index_summary_stride = 16;
     sstable_bloom = true;
     bloom_bits_per_key = 10;
+    prefix_bloom_len = 0;
     wal_sync_writes = false;
     compaction_threads = 1;
     compaction_pick_files = 1;
@@ -184,7 +208,8 @@ let base =
     guard_sstable_trigger = 3;
     seek_compaction_threshold = 10;
     aggressive_level_ratio = 0.25;
-    parallel_seeks = true;
+    seek_filtering = true;
+    probe_budget_override = None;
     seek_based_compaction = true;
     last_level_merge_io_factor = 25.0;
     shards = 1;

@@ -45,6 +45,7 @@ type t = {
   sched : Scheduler.t; (* shared background-compaction scheduler *)
   bp : Bp.t; (* shared write-throttling controller (Backpressure) *)
   stats : Pdb_kvs.Engine_stats.t;
+  probe : Pdb_simio.Probe.ctx; (* parallel-probe budget sessions *)
   table_cache : Pdb_sstable.Table_cache.t;
   block_cache : Pdb_sstable.Block_cache.t;
   mutable mem : Pdb_kvs.Memtable.t;
@@ -239,6 +240,7 @@ let build_table_from_iter t ~iter ~level:_ =
   let number = new_file_number t in
   let builder =
     Table.Builder.create t.env ~dir:t.dir ~number
+      ~prefix_bloom_len:t.opts.O.prefix_bloom_len
       ~block_bytes:t.opts.O.block_bytes ~bloom:t.opts.O.sstable_bloom
       ~expected_keys:
         (max 16 (t.opts.O.memtable_bytes / 64) (* rough per-key estimate *))
@@ -462,6 +464,7 @@ and run_merge t ~inputs_lo ~inputs_hi ~drop_tombstones ~single_output =
     | None ->
       let b =
         Table.Builder.create t.env ~dir:t.dir ~number:(new_file_number t)
+          ~prefix_bloom_len:t.opts.O.prefix_bloom_len
           ~block_bytes:t.opts.O.block_bytes ~bloom:t.opts.O.sstable_bloom
           ~expected_keys
       in
@@ -724,8 +727,17 @@ let open_store ?block_cache (opts : O.t) ~env ~dir =
           ~workers:opts.O.compaction_threads ();
       bp = Bp.create opts;
       stats = Pdb_kvs.Engine_stats.create ();
+      probe =
+        Pdb_simio.Probe.create_ctx ~clock:(Env.clock env)
+          ~budget:(fun () ->
+            match opts.O.probe_budget_override with
+            | Some b -> b
+            | None -> (Env.device env).Device.parallel_probe_budget)
+          ~tracer:(fun () -> Env.tracer env)
+          ();
       table_cache =
-        Pdb_sstable.Table_cache.create env ~dir
+        Pdb_sstable.Table_cache.create ?bytes:opts.O.table_cache_bytes
+          ~summary_stride:opts.O.index_summary_stride env ~dir
           ~entries:opts.O.table_cache_entries;
       block_cache =
         (match block_cache with
@@ -797,6 +809,10 @@ let stats t =
     Pdb_sstable.Table_cache.hits t.table_cache;
   st.Pdb_kvs.Engine_stats.table_cache_misses <-
     Pdb_sstable.Table_cache.misses t.table_cache;
+  st.Pdb_kvs.Engine_stats.summary_hits <-
+    Pdb_sstable.Table_cache.summary_hits t.table_cache;
+  st.Pdb_kvs.Engine_stats.summary_misses <-
+    Pdb_sstable.Table_cache.summary_misses t.table_cache;
   st
 
 (* ---------- writes ---------- *)
@@ -916,38 +932,43 @@ let release_snapshot t s = Pdb_kvs.Snapshots.release t.snapshots s
 (* Search one table for the freshest version of [key] visible at
    [snapshot] (or at the latest state). *)
 let table_lookup ?snapshot t (meta : Table.meta) key =
-  charge_cpu t t.opts.O.cpu_per_sstable_ns;
-  t.stats.Pdb_kvs.Engine_stats.sstables_examined <-
-    t.stats.Pdb_kvs.Engine_stats.sstables_examined + 1;
-  let reader = Pdb_sstable.Table_cache.find t.table_cache meta in
-  let pass_bloom =
-    if Table.has_filter reader then begin
-      charge_cpu t t.opts.O.cpu_bloom_check_ns;
-      t.stats.Pdb_kvs.Engine_stats.bloom_checks <-
-        t.stats.Pdb_kvs.Engine_stats.bloom_checks + 1;
-      let pass = Table.may_contain reader key in
-      if not pass then
-        t.stats.Pdb_kvs.Engine_stats.bloom_negative <-
-          t.stats.Pdb_kvs.Engine_stats.bloom_negative + 1;
-      pass
-    end
-    else true
-  in
-  if not pass_bloom then None
-  else begin
-    charge_cpu t t.opts.O.cpu_per_block_search_ns;
-    let lookup =
-      match snapshot with
-      | Some seq -> Ik.lookup_at ~user_key:key ~seq
-      | None -> Ik.max_for_lookup key
-    in
-    match
-      Table.get reader ~cache:t.block_cache ~hint:Device.Random_read lookup
-    with
-    | Some (ikey, value) when String.equal (Ik.user_key ikey) key ->
-      Some (Ik.kind ikey, value)
-    | Some _ | None -> None
-  end
+  (* inside a probe session (L0 pile / tiered-run get) each lookup's
+     device time is measured so independent probes overlap up to the
+     budget *)
+  Pdb_simio.Probe.measure t.probe (fun () ->
+      charge_cpu t t.opts.O.cpu_per_sstable_ns;
+      t.stats.Pdb_kvs.Engine_stats.sstables_examined <-
+        t.stats.Pdb_kvs.Engine_stats.sstables_examined + 1;
+      let reader = Pdb_sstable.Table_cache.find t.table_cache meta in
+      let pass_bloom =
+        if Table.has_filter reader then begin
+          charge_cpu t t.opts.O.cpu_bloom_check_ns;
+          t.stats.Pdb_kvs.Engine_stats.bloom_checks <-
+            t.stats.Pdb_kvs.Engine_stats.bloom_checks + 1;
+          let pass = Table.may_contain reader key in
+          if not pass then
+            t.stats.Pdb_kvs.Engine_stats.bloom_negative <-
+              t.stats.Pdb_kvs.Engine_stats.bloom_negative + 1;
+          pass
+        end
+        else true
+      in
+      if not pass_bloom then None
+      else begin
+        charge_cpu t t.opts.O.cpu_per_block_search_ns;
+        let lookup =
+          match snapshot with
+          | Some seq -> Ik.lookup_at ~user_key:key ~seq
+          | None -> Ik.max_for_lookup key
+        in
+        match
+          Table.get reader ~cache:t.block_cache ~hint:Device.Random_read
+            lookup
+        with
+        | Some (ikey, value) when String.equal (Ik.user_key ikey) key ->
+          Some (Ik.kind ikey, value)
+        | Some _ | None -> None
+      end)
 
 let get ?snapshot t key =
   assert (not t.closed);
@@ -962,72 +983,91 @@ let get ?snapshot t key =
   | Some (Some v) -> Some v
   | Some None -> None
   | None ->
-    let result = ref `NotFound in
-    (* level 0: newest file first; first hit wins *)
-    let rec search_l0 = function
-      | [] -> ()
-      | (m : Table.meta) :: rest ->
-        if !result = `NotFound then begin
-          if user_range_overlap m key then
-            (match table_lookup ?snapshot t m key with
-             | Some (Ik.Value, v) -> result := `Found v
-             | Some (Ik.Deletion, _) -> result := `Deleted
-             | None -> ());
-          search_l0 rest
-        end
-    in
-    search_l0 t.levels.(0);
-    (* deeper levels: leveled layout has at most one candidate file;
-       tiered layout probes every overlapping run, newest first *)
-    let level = ref 1 in
-    while !result = `NotFound && !level < t.opts.O.max_levels do
-      let candidates =
-        if tiered_level t !level then
-          List.filter (fun m -> user_range_overlap m key) t.levels.(!level)
-        else
-          match
-            List.find_opt (fun m -> user_range_overlap m key) t.levels.(!level)
-          with
-          | Some m -> [ m ]
-          | None -> []
-      in
-      List.iter
-        (fun m ->
-          if !result = `NotFound then
-            match table_lookup ?snapshot t m key with
-            | Some (Ik.Value, v) -> result := `Found v
-            | Some (Ik.Deletion, _) -> result := `Deleted
-            | None -> ())
-        candidates;
-      incr level
-    done;
-    (match !result with `Found v -> Some v | `Deleted | `NotFound -> None)
+    (* the candidate tables of one lookup (the L0 pile, a tiered level's
+       overlapping runs) are independent random reads: bracket them in a
+       probe session so they overlap up to the device budget *)
+    Pdb_simio.Probe.with_session t.probe ~label:"get" (fun () ->
+        let result = ref `NotFound in
+        (* level 0: newest file first; first hit wins *)
+        let rec search_l0 = function
+          | [] -> ()
+          | (m : Table.meta) :: rest ->
+            if !result = `NotFound then begin
+              if user_range_overlap m key then
+                (match table_lookup ?snapshot t m key with
+                 | Some (Ik.Value, v) -> result := `Found v
+                 | Some (Ik.Deletion, _) -> result := `Deleted
+                 | None -> ());
+              search_l0 rest
+            end
+        in
+        search_l0 t.levels.(0);
+        (* deeper levels: leveled layout has at most one candidate file;
+           tiered layout probes every overlapping run, newest first *)
+        let level = ref 1 in
+        while !result = `NotFound && !level < t.opts.O.max_levels do
+          let candidates =
+            if tiered_level t !level then
+              List.filter (fun m -> user_range_overlap m key) t.levels.(!level)
+            else
+              match
+                List.find_opt
+                  (fun m -> user_range_overlap m key)
+                  t.levels.(!level)
+              with
+              | Some m -> [ m ]
+              | None -> []
+          in
+          List.iter
+            (fun m ->
+              if !result = `NotFound then
+                match table_lookup ?snapshot t m key with
+                | Some (Ik.Value, v) -> result := `Found v
+                | Some (Ik.Deletion, _) -> result := `Deleted
+                | None -> ())
+            candidates;
+          incr level
+        done;
+        match !result with `Found v -> Some v | `Deleted | `NotFound -> None)
 
 (* ---------- iterators ---------- *)
 
-let internal_iterator t =
+(* [upper_user] is the iterator's inclusive user-key bound: it licenses the
+   seek filter to skip tables past it, and {!iterator} clamps the merged
+   output so skipped tables are unobservable. *)
+let internal_iterator ?upper_user t =
   let on_table () =
     charge_cpu t t.opts.O.cpu_per_sstable_ns;
     t.stats.Pdb_kvs.Engine_stats.sstables_examined <-
       t.stats.Pdb_kvs.Engine_stats.sstables_examined + 1
   in
-  (* one iterator per overlapping file (L0 and tiered levels) *)
+  let filter =
+    Pdb_sstable.Seek_filter.create ?upper_user
+      ~filtering:t.opts.O.seek_filtering
+      ~peek:(Pdb_sstable.Table_cache.peek t.table_cache)
+      ~on_check:(fun ~skipped ->
+        t.stats.Pdb_kvs.Engine_stats.seek_bloom_checks <-
+          t.stats.Pdb_kvs.Engine_stats.seek_bloom_checks + 1;
+        if skipped then
+          t.stats.Pdb_kvs.Engine_stats.seek_bloom_skips <-
+            t.stats.Pdb_kvs.Engine_stats.seek_bloom_skips + 1)
+      ()
+  in
+  (* one iterator per overlapping file (L0 and tiered levels): lazy
+     filtered wrappers skip the provably-disjoint ones and measure the
+     rest for the probe session *)
   let file_iter m =
-    let reader = Pdb_sstable.Table_cache.find t.table_cache m in
-    (* wrap to charge per positioning *)
     let it =
-      Table.iterator reader ~cache:t.block_cache ~hint:Device.Random_read
+      Pdb_sstable.Seek_filter.table_iterator filter ~cache:t.table_cache
+        ~block_cache:t.block_cache ~hint:Device.Random_read ~on_table m
     in
     {
       it with
       Iter.seek =
-        (fun k ->
-          on_table ();
-          it.Iter.seek k);
+        (fun k -> Pdb_simio.Probe.measure t.probe (fun () -> it.Iter.seek k));
       seek_to_first =
         (fun () ->
-          on_table ();
-          it.Iter.seek_to_first ());
+          Pdb_simio.Probe.measure t.probe (fun () -> it.Iter.seek_to_first ()));
     }
   in
   let l0_iters = List.map file_iter t.levels.(0) in
@@ -1043,9 +1083,9 @@ let internal_iterator t =
             List.map file_iter files
           else
             [
-              Pdb_sstable.Level_iter.create ~cache:t.table_cache
-                ~block_cache:t.block_cache ~hint:Device.Random_read ~on_table
-                (Array.of_list files);
+              Pdb_sstable.Level_iter.create ~filter ~probe:t.probe
+                ~cache:t.table_cache ~block_cache:t.block_cache
+                ~hint:Device.Random_read ~on_table (Array.of_list files);
             ])
       (List.init (t.opts.O.max_levels - 1) (fun i -> i + 1))
   in
@@ -1078,25 +1118,46 @@ let note_seek t =
     end
   end
 
-let iterator ?snapshot t =
+let iterator ?snapshot ?upper_bound t =
   assert (not t.closed);
-  let db = Pdb_kvs.Db_iter.wrap ?snapshot (internal_iterator t) in
+  let db =
+    Pdb_kvs.Db_iter.wrap ?snapshot
+      (internal_iterator ?upper_user:upper_bound t)
+  in
+  (* the bound is semantic: output is clamped to keys <= upper_bound, so
+     tables the seek filter skipped as past-the-bound are unobservable *)
+  let in_bound () =
+    match upper_bound with
+    | None -> true
+    | Some up -> String.compare (db.Iter.key ()) up <= 0
+  in
+  let valid () = db.Iter.valid () && in_bound () in
   {
-    db with
     Iter.seek =
       (fun k ->
         note_seek t;
-        db.Iter.seek k);
+        Pdb_simio.Probe.with_session t.probe ~label:"seek" (fun () ->
+            db.Iter.seek k));
     seek_to_first =
       (fun () ->
         note_seek t;
-        db.Iter.seek_to_first ());
+        Pdb_simio.Probe.with_session t.probe ~label:"seek" (fun () ->
+            db.Iter.seek_to_first ()));
     next =
       (fun () ->
         t.stats.Pdb_kvs.Engine_stats.nexts <-
           t.stats.Pdb_kvs.Engine_stats.nexts + 1;
         charge_cpu t t.opts.O.cpu_per_op_ns;
         db.Iter.next ());
+    valid;
+    key =
+      (fun () ->
+        if valid () then db.Iter.key ()
+        else invalid_arg "iterator: iterator is not valid");
+    value =
+      (fun () ->
+        if valid () then db.Iter.value ()
+        else invalid_arg "iterator: iterator is not valid");
   }
 
 (* ---------- maintenance ---------- *)

@@ -17,10 +17,14 @@ type t = {
   seq_read_setup_ns : float; (* per sequential (compaction) read *)
   sync_ns : float; (* per fsync *)
   mutable aging : float; (* >= 1.0; 1.0 = fresh file system *)
+  mutable parallel_probe_budget : int;
+      (* concurrent random reads the device serves before probes queue
+         behind each other (internal flash parallelism); 1 = serial.
+         Drawn on by {!Probe} sessions. *)
 }
 
 (** Flash-SSD-like defaults: ~1 GB/s sequential writes, ~2 GB/s reads,
-    ~80 us random-read latency. *)
+    ~80 us random-read latency, 4 concurrently-served probes. *)
 let ssd () =
   {
     write_byte_ns = 1.0;
@@ -30,12 +34,17 @@ let ssd () =
     seq_read_setup_ns = 1_500.0;
     sync_ns = 50_000.0;
     aging = 1.0;
+    parallel_probe_budget = 4;
   }
 
 (** [set_aging t f] ages the device; [f = 1.0] is fresh, larger is older. *)
 let set_aging t f =
   assert (f >= 1.0);
   t.aging <- f
+
+(** [set_parallel_probe_budget t n] sets the number of probes the device
+    overlaps; [n <= 1] serialises every probe. *)
+let set_parallel_probe_budget t n = t.parallel_probe_budget <- max 1 n
 
 type read_hint = Random_read | Sequential_read
 

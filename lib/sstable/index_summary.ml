@@ -1,0 +1,123 @@
+(** Compressed in-memory index summaries (see the interface for the
+    design rationale).
+
+    Samples are packed into one string to keep the per-summary heap
+    footprint honest: for each retained index entry we store
+
+      varint(shared)  — prefix length shared with the previous sample
+      varint(len)     — length of the stored suffix
+      suffix bytes
+      varint(offset)  — data-block handle
+      varint(size)
+
+    Shared-prefix truncation against the previous *sample* (not the
+    previous index entry) keeps decode stateless per summary while still
+    capturing most of the redundancy of sorted last-keys. *)
+
+type t = {
+  number : int;
+  entries : int;
+  index_handle : int * int;
+  filter_handle : int * int;
+  prefix_len : int;
+  index_bytes : int;
+  filter_bytes : int;
+  nsamples : int;
+  packed : string;
+}
+
+let put_varint buf n =
+  let n = ref n in
+  while !n >= 0x80 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!n land 0x7f)));
+    n := !n lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !n)
+
+let get_varint s pos =
+  let n = ref 0 and shift = ref 0 and p = ref pos in
+  let continue = ref true in
+  while !continue do
+    let b = Char.code s.[!p] in
+    incr p;
+    n := !n lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b < 0x80 then continue := false
+  done;
+  (!n, !p)
+
+let shared_prefix a b =
+  let n = min (String.length a) (String.length b) in
+  let i = ref 0 in
+  while !i < n && a.[!i] = b.[!i] do
+    incr i
+  done;
+  !i
+
+let build ~stride ~number ~entries ~index_handle ~filter_handle ~prefix_len
+    ~index_bytes ~filter_bytes index_entries =
+  let stride = max 1 stride in
+  let buf = Buffer.create 128 in
+  let prev = ref "" in
+  let nsamples = ref 0 in
+  let total = List.length index_entries in
+  List.iteri
+    (fun i (key, (off, size)) ->
+      if i mod stride = 0 || i = total - 1 then begin
+        let shared = shared_prefix !prev key in
+        let suffix = String.sub key shared (String.length key - shared) in
+        put_varint buf shared;
+        put_varint buf (String.length suffix);
+        Buffer.add_string buf suffix;
+        put_varint buf off;
+        put_varint buf size;
+        prev := key;
+        incr nsamples
+      end)
+    index_entries;
+  {
+    number;
+    entries;
+    index_handle;
+    filter_handle;
+    prefix_len;
+    index_bytes;
+    filter_bytes;
+    nsamples = !nsamples;
+    packed = Buffer.contents buf;
+  }
+
+let number t = t.number
+let entries t = t.entries
+let index_handle t = t.index_handle
+let filter_handle t = t.filter_handle
+let prefix_len t = t.prefix_len
+let index_bytes t = t.index_bytes
+let filter_bytes t = t.filter_bytes
+let resident_table_bytes t = t.index_bytes + t.filter_bytes
+let nsamples t = t.nsamples
+
+(* Packed samples plus a fixed allowance for the record's scalar fields. *)
+let size_bytes t = String.length t.packed + 64
+
+let slice_bytes t =
+  let _, index_size = t.index_handle in
+  if t.nsamples <= 1 then index_size
+  else (index_size + t.nsamples - 1) / t.nsamples
+
+let samples t =
+  let s = t.packed in
+  let len = String.length s in
+  let rec go pos prev acc =
+    if pos >= len then List.rev acc
+    else
+      let shared, pos = get_varint s pos in
+      let slen, pos = get_varint s pos in
+      let suffix = String.sub s pos slen in
+      let pos = pos + slen in
+      let off, pos = get_varint s pos in
+      let size, pos = get_varint s pos in
+      let key = String.sub prev 0 shared ^ suffix in
+      go pos key ((key, (off, size)) :: acc)
+  in
+  go 0 "" []

@@ -4,7 +4,13 @@
     (PebblesDB's sstable-level filters, §4.1), then an index block mapping
     each data block's last key to its (offset, size) handle, then a fixed
     footer.  Entries are written once, in internal-key order, and never
-    updated in place. *)
+    updated in place.
+
+    When [prefix_bloom_len > 0] the filter block additionally records a
+    tagged probe per distinct [prefix_bloom_len]-byte user-key prefix, so
+    prefix-bounded scans can skip tables whose filter proves the prefix
+    absent.  The length is recorded in the footer's padding word, making
+    build-time and probe-time prefix lengths agree by construction. *)
 
 type handle = { offset : int; size : int }
 
@@ -19,6 +25,11 @@ let decode_handle s pos =
 
 let footer_size = 28
 let magic = 0x50454242 (* "PEBB" *)
+
+(* Namespaces prefix probes away from whole-key probes within the shared
+   bloom.  A collision with a real user key only risks a false positive,
+   which filters tolerate by design. *)
+let prefix_tag = "\x01pfx\x01"
 
 (** Summary of a finished table, recorded in the MANIFEST. *)
 type meta = {
@@ -38,6 +49,7 @@ module Builder = struct
     file : string;
     number : int;
     block_bytes : int;
+    prefix_bloom_len : int;
     mutable offset : int;
     data : Block.Builder.t;
     index : (string * handle) list ref; (* reversed *)
@@ -46,29 +58,37 @@ module Builder = struct
     mutable largest : string;
     mutable entries : int;
     mutable last_user_key : string option;
+    mutable last_prefix : string option;
   }
 
   (** [create env ~dir ~number ~block_bytes ~bloom ~expected_keys] starts a
       new table file.  [bloom = true] attaches a per-table filter sized for
-      [expected_keys]. *)
-  let create env ~dir ~number ~block_bytes ~bloom ~expected_keys =
+      [expected_keys]; [prefix_bloom_len > 0] also records user-key
+      prefixes of that length in the same filter (sized for the extra
+      probes). *)
+  let create ?(prefix_bloom_len = 0) env ~dir ~number ~block_bytes ~bloom
+      ~expected_keys =
     let name = file_name ~dir number in
+    let expected =
+      if prefix_bloom_len > 0 then 2 * max 16 expected_keys
+      else max 16 expected_keys
+    in
     {
       env;
       writer = Pdb_simio.Env.create_file env name;
       file = name;
       number;
       block_bytes;
+      prefix_bloom_len = (if bloom then max 0 prefix_bloom_len else 0);
       offset = 0;
       data = Block.Builder.create ();
       index = ref [];
-      filter =
-        (if bloom then Some (Pdb_bloom.Bloom.create (max 16 expected_keys))
-         else None);
+      filter = (if bloom then Some (Pdb_bloom.Bloom.create expected) else None);
       smallest = None;
       largest = "";
       entries = 0;
       last_user_key = None;
+      last_prefix = None;
     }
 
   let write_block t builder =
@@ -98,7 +118,17 @@ module Builder = struct
        let uk = Pdb_kvs.Internal_key.user_key ikey in
        if t.last_user_key <> Some uk then begin
          Pdb_bloom.Bloom.add f uk;
-         t.last_user_key <- Some uk
+         t.last_user_key <- Some uk;
+         (* keys arrive sorted, so consecutive dedupe covers all repeats
+            of a prefix *)
+         if t.prefix_bloom_len > 0 && String.length uk >= t.prefix_bloom_len
+         then begin
+           let p = String.sub uk 0 t.prefix_bloom_len in
+           if t.last_prefix <> Some p then begin
+             Pdb_bloom.Bloom.add f (prefix_tag ^ p);
+             t.last_prefix <- Some p
+           end
+         end
        end
      | None -> ());
     Block.Builder.add t.data ikey value;
@@ -149,7 +179,7 @@ module Builder = struct
       Pdb_util.Varint.put_fixed32 buf index_handle.size;
       Pdb_util.Varint.put_fixed32 buf t.entries;
       Pdb_util.Varint.put_fixed32 buf magic;
-      Pdb_util.Varint.put_fixed32 buf 0 (* padding to footer_size *);
+      Pdb_util.Varint.put_fixed32 buf t.prefix_bloom_len;
       Pdb_simio.Env.append t.writer (Buffer.contents buf);
       t.offset <- t.offset + footer_size;
       Pdb_simio.Env.sync t.writer;
@@ -168,14 +198,25 @@ module Builder = struct
     end
 end
 
-(** An open table: index block and filter resident in memory (the paper's
-    cached index blocks); data blocks go through the shared block cache. *)
+(** The bloom filter of an open table.  Eager opens decode it immediately;
+    summary-guided opens defer the read until the first probe actually
+    needs it, so tables touched only by filtered-out seeks never pay it. *)
+type filter_slot =
+  | No_filter
+  | Loaded of Pdb_bloom.Bloom.t
+  | Lazy of handle
+
+(** An open table: index block resident in memory (the paper's cached
+    index blocks); data blocks go through the shared block cache. *)
 type reader = {
   env : Pdb_simio.Env.t;
   name : string;
   meta : meta;
   index : Block.t;
-  filter : Pdb_bloom.Bloom.t option;
+  index_handle : handle;
+  filter_handle : handle;
+  prefix_len : int;
+  mutable filter : filter_slot;
 }
 
 let ikey_compare = Pdb_kvs.Internal_key.compare
@@ -196,6 +237,7 @@ let open_reader ?(hint = Pdb_simio.Device.Random_read) env ~dir (meta : meta) =
   let index_off = Pdb_util.Varint.get_fixed32 footer 8 in
   let index_size = Pdb_util.Varint.get_fixed32 footer 12 in
   let stored_magic = Pdb_util.Varint.get_fixed32 footer 20 in
+  let prefix_len = Pdb_util.Varint.get_fixed32 footer 24 in
   if stored_magic <> magic then
     failwith (Printf.sprintf "Table.open_reader %s: bad magic" name);
   let index =
@@ -203,28 +245,125 @@ let open_reader ?(hint = Pdb_simio.Device.Random_read) env ~dir (meta : meta) =
       (Pdb_simio.Env.read env name ~pos:index_off ~len:index_size ~hint)
   in
   let filter =
-    if filter_size = 0 then None
+    if filter_size = 0 then No_filter
     else
-      Some
+      Loaded
         (Pdb_bloom.Bloom.decode
            (Pdb_simio.Env.read env name ~pos:filter_off ~len:filter_size
               ~hint))
   in
-  { env; name; meta; index; filter }
+  {
+    env;
+    name;
+    meta;
+    index;
+    index_handle = { offset = index_off; size = index_size };
+    filter_handle = { offset = filter_off; size = filter_size };
+    prefix_len;
+    filter;
+  }
+
+(** [open_via_summary env ~dir meta summary] reopens an evicted table
+    guided by its {!Index_summary}: the footer read is skipped entirely
+    (the summary retains the handles), the index read is billed as one
+    inter-sample slice (the bytes beyond it are refunded — the summary
+    bounds where in the index any key lives), and the filter is left
+    {!Lazy} until a probe needs it. *)
+let open_via_summary ?(hint = Pdb_simio.Device.Random_read) env ~dir
+    (meta : meta) summary =
+  let name = file_name ~dir meta.number in
+  let index_off, index_size = Index_summary.index_handle summary in
+  let index =
+    Block.decode
+      (Pdb_simio.Env.read env name ~pos:index_off ~len:index_size ~hint)
+  in
+  let slice = Index_summary.slice_bytes summary in
+  let excess = index_size - slice in
+  if excess > 0 then
+    Pdb_simio.Clock.refund
+      (Pdb_simio.Env.clock env)
+      (float_of_int excess *. (Pdb_simio.Env.device env).Pdb_simio.Device.read_byte_ns);
+  let filter_off, filter_size = Index_summary.filter_handle summary in
+  {
+    env;
+    name;
+    meta;
+    index;
+    index_handle = { offset = index_off; size = index_size };
+    filter_handle = { offset = filter_off; size = filter_size };
+    prefix_len = Index_summary.prefix_len summary;
+    filter =
+      (if filter_size = 0 then No_filter
+       else Lazy { offset = filter_off; size = filter_size });
+  }
+
+(* Materialise a lazy filter, charging the deferred random read. *)
+let load_filter r =
+  match r.filter with
+  | No_filter -> None
+  | Loaded f -> Some f
+  | Lazy h ->
+    let f =
+      Pdb_bloom.Bloom.decode
+        (Pdb_simio.Env.read r.env r.name ~pos:h.offset ~len:h.size
+           ~hint:Pdb_simio.Device.Random_read)
+    in
+    r.filter <- Loaded f;
+    Some f
 
 (** [may_contain r user_key] consults the table's bloom filter; [true] when
     no filter is attached. *)
 let may_contain r user_key =
-  match r.filter with
+  match load_filter r with
   | Some f -> Pdb_bloom.Bloom.mem f user_key
   | None -> true
 
-let has_filter r = Option.is_some r.filter
+(** [may_contain_prefix r prefix] is [false] only when the table was built
+    with [prefix_bloom_len = String.length prefix] and its filter proves no
+    stored user key starts with [prefix]. *)
+let may_contain_prefix r prefix =
+  if r.prefix_len <= 0 || String.length prefix <> r.prefix_len then true
+  else
+    match load_filter r with
+    | Some f -> Pdb_bloom.Bloom.mem f (prefix_tag ^ prefix)
+    | None -> true
 
-(** In-memory footprint of the open table (index + filter), for Table 5.4. *)
+let has_filter r = match r.filter with No_filter -> false | _ -> true
+let filter_resident r = match r.filter with Loaded _ -> true | _ -> false
+let prefix_len r = r.prefix_len
+
+(** In-memory footprint of the open table (index + filter), for Table 5.4.
+    A still-lazy filter is counted at its on-disk size — the decoded bloom
+    is the bit array plus a small header, so the two agree. *)
 let resident_bytes r =
   Block.size_bytes r.index
-  + (match r.filter with Some f -> Pdb_bloom.Bloom.size_bytes f | None -> 0)
+  + (match r.filter with
+     | Loaded f -> Pdb_bloom.Bloom.size_bytes f
+     | Lazy h -> h.size
+     | No_filter -> 0)
+
+(** [summarize ~stride r] digests an open table into an {!Index_summary}
+    capturing its handles and actual resident footprint. *)
+let summarize ~stride r =
+  let it = Block.iterator ~compare:ikey_compare r.index in
+  it.Pdb_kvs.Iter.seek_to_first ();
+  let entries = ref [] in
+  while it.Pdb_kvs.Iter.valid () do
+    let h, _ = decode_handle (it.Pdb_kvs.Iter.value ()) 0 in
+    entries := (it.Pdb_kvs.Iter.key (), (h.offset, h.size)) :: !entries;
+    it.Pdb_kvs.Iter.next ()
+  done;
+  Index_summary.build ~stride ~number:r.meta.number ~entries:r.meta.entries
+    ~index_handle:(r.index_handle.offset, r.index_handle.size)
+    ~filter_handle:(r.filter_handle.offset, r.filter_handle.size)
+    ~prefix_len:r.prefix_len
+    ~index_bytes:(Block.size_bytes r.index)
+    ~filter_bytes:
+      (match r.filter with
+       | Loaded f -> Pdb_bloom.Bloom.size_bytes f
+       | Lazy h -> h.size
+       | No_filter -> 0)
+    (List.rev !entries)
 
 (* Locate the handle of the block that may contain [ikey]. *)
 let find_block_handle r ikey =

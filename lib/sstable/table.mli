@@ -4,7 +4,13 @@
     (PebblesDB's sstable-level filters, §4.1), then an index block mapping
     each data block's last key to its (offset, size) handle, then a fixed
     footer.  Entries are written once, in internal-key order, and never
-    updated in place. *)
+    updated in place.
+
+    When [prefix_bloom_len > 0] the filter block additionally records a
+    tagged probe per distinct [prefix_bloom_len]-byte user-key prefix, so
+    prefix-bounded scans can skip tables whose filter proves the prefix
+    absent.  The length is recorded in the footer's padding word, making
+    build-time and probe-time prefix lengths agree by construction. *)
 
 type handle = { offset : int; size : int }
 
@@ -26,8 +32,10 @@ module Builder : sig
 
   (** [create env ~dir ~number ~block_bytes ~bloom ~expected_keys] starts a
       new table file.  [bloom = true] attaches a per-table filter sized for
-      [expected_keys]. *)
+      [expected_keys]; [prefix_bloom_len > 0] also records user-key
+      prefixes of that length in the same filter. *)
   val create :
+    ?prefix_bloom_len:int ->
     Pdb_simio.Env.t -> dir:string -> number:int -> block_bytes:int ->
     bloom:bool -> expected_keys:int -> t
 
@@ -44,8 +52,8 @@ module Builder : sig
   val finish : t -> meta option
 end
 
-(** An open table: index block and filter resident in memory (the paper's
-    cached index blocks); data blocks go through the shared block cache. *)
+(** An open table: index block resident in memory (the paper's cached
+    index blocks); data blocks go through the shared block cache. *)
 type reader
 
 (** [open_reader ?hint env ~dir meta] opens a table, reading footer, index
@@ -57,14 +65,37 @@ val open_reader :
   ?hint:Pdb_simio.Device.read_hint -> Pdb_simio.Env.t -> dir:string -> meta ->
   reader
 
+(** [open_via_summary env ~dir meta summary] reopens an evicted table
+    guided by its {!Index_summary}: no footer read, the index read billed
+    as one inter-sample slice (excess bytes refunded to the clock), and
+    the filter deferred until a probe needs it. *)
+val open_via_summary :
+  ?hint:Pdb_simio.Device.read_hint -> Pdb_simio.Env.t -> dir:string -> meta ->
+  Index_summary.t -> reader
+
 (** [may_contain r user_key] consults the table's bloom filter; [true] when
-    no filter is attached. *)
+    no filter is attached.  Loads a deferred filter on first use. *)
 val may_contain : reader -> string -> bool
+
+(** [may_contain_prefix r prefix] is [false] only when the table was built
+    with [prefix_bloom_len = String.length prefix] and its filter proves no
+    stored user key starts with [prefix]. *)
+val may_contain_prefix : reader -> string -> bool
 
 val has_filter : reader -> bool
 
+(** Whether the filter is decoded in memory (false while still lazy). *)
+val filter_resident : reader -> bool
+
+(** The [prefix_bloom_len] this table was built with; 0 = none. *)
+val prefix_len : reader -> int
+
 (** In-memory footprint of the open table (index + filter), for Table 5.4. *)
 val resident_bytes : reader -> int
+
+(** [summarize ~stride r] digests an open table into an {!Index_summary}
+    capturing its handles and actual resident footprint. *)
+val summarize : stride:int -> reader -> Index_summary.t
 
 (** [get r ~cache ~hint ikey] returns the first entry with internal key >=
     [ikey], reading at most one data block. *)

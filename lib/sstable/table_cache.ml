@@ -5,39 +5,113 @@
     "cache a limited number of sstable index blocks (default: 1000)", so a
     store with many small files suffers index-block cache misses.  This
     cache models exactly that: opening an evicted table re-reads its
-    footer, index and filter from storage. *)
+    footer, index and filter from storage.
+
+    Two production-scale refinements layer on top:
+    - [?bytes] switches the cache from entry-bounded to byte-bounded, so
+      the budget tracks what the cache actually holds (big tables carry
+      big indexes).
+    - [?summary_stride > 0] keeps an {!Index_summary} per table ever
+      opened, resident above the LRU; a reopen of an evicted table is
+      then summary-guided ({!Table.open_via_summary}): no footer read,
+      one index slice, filter deferred. *)
 
 type t = {
   env : Pdb_simio.Env.t;
   dir : string;
   cache : (string, Table.reader) Pdb_util.Lru.t;
+  by_bytes : bool;
+  summary_stride : int; (* <= 0 disables summaries *)
+  summaries : (int, Index_summary.t) Hashtbl.t;
+  mutable summary_hits : int;
+  mutable summary_misses : int;
 }
 
-let create env ~dir ~entries =
-  { env; dir; cache = Pdb_util.Lru.create ~capacity:entries }
+(** [create ?bytes ?summary_stride env ~dir ~entries] — [bytes = Some b]
+    bounds the cache by resident bytes instead of [entries]. *)
+let create ?bytes ?(summary_stride = 0) env ~dir ~entries =
+  let capacity, by_bytes =
+    match bytes with Some b -> (max 1 b, true) | None -> (entries, false)
+  in
+  {
+    env;
+    dir;
+    cache = Pdb_util.Lru.create ~capacity;
+    by_bytes;
+    summary_stride;
+    summaries = Hashtbl.create 64;
+    summary_hits = 0;
+    summary_misses = 0;
+  }
 
 let key number = string_of_int number
 
+let weight_of t reader =
+  if t.by_bytes then max 1 (Table.resident_bytes reader) else 1
+
 (** [find t meta] returns the open reader for [meta], opening (and charging
-    IO for) it if not cached. *)
+    IO for) it if not cached.  With summaries enabled, a reopen of a
+    previously-summarized table is summary-guided and cheaper. *)
 let find t (meta : Table.meta) =
   match Pdb_util.Lru.find t.cache (key meta.Table.number) with
   | Some reader -> reader
   | None ->
-    let reader = Table.open_reader t.env ~dir:t.dir meta in
-    Pdb_util.Lru.insert t.cache (key meta.Table.number) reader ~weight:1;
+    let reader =
+      if t.summary_stride > 0 then begin
+        match Hashtbl.find_opt t.summaries meta.Table.number with
+        | Some summary ->
+          t.summary_hits <- t.summary_hits + 1;
+          Table.open_via_summary t.env ~dir:t.dir meta summary
+        | None ->
+          t.summary_misses <- t.summary_misses + 1;
+          let reader = Table.open_reader t.env ~dir:t.dir meta in
+          Hashtbl.replace t.summaries meta.Table.number
+            (Table.summarize ~stride:t.summary_stride reader);
+          reader
+      end
+      else Table.open_reader t.env ~dir:t.dir meta
+    in
+    Pdb_util.Lru.insert t.cache (key meta.Table.number) reader
+      ~weight:(weight_of t reader);
     reader
 
-(** [evict t number] drops a table (called when its file is deleted after
-    compaction). *)
-let evict t number = Pdb_util.Lru.remove t.cache (key number)
+(** [peek t meta] returns the cached reader without affecting recency or
+    hit/miss counters — for opportunistic filter consultation that must
+    not open anything or distort statistics. *)
+let peek t (meta : Table.meta) =
+  Pdb_util.Lru.peek t.cache (key meta.Table.number)
 
-(** Modeled resident memory of all cached tables' indexes and filters. *)
+(** [evict t number] drops a table (called when its file is deleted after
+    compaction), along with its summary — the file is gone. *)
+let evict t number =
+  Pdb_util.Lru.remove t.cache (key number);
+  Hashtbl.remove t.summaries number
+
+(** [known_resident_bytes t meta] is the actual decoded footprint of the
+    table if known — from the open reader, else from its summary — and
+    [None] for a never-opened table. *)
+let known_resident_bytes t (meta : Table.meta) =
+  match Pdb_util.Lru.peek t.cache (key meta.Table.number) with
+  | Some reader -> Some (Table.resident_bytes reader)
+  | None -> (
+    match Hashtbl.find_opt t.summaries meta.Table.number with
+    | Some s -> Some (Index_summary.resident_table_bytes s)
+    | None -> None)
+
+let summary_bytes t =
+  Hashtbl.fold (fun _ s acc -> acc + Index_summary.size_bytes s) t.summaries 0
+
+(** Modeled resident memory: cached tables' indexes and filters, plus the
+    always-resident summaries. *)
 let resident_bytes t =
   Pdb_util.Lru.fold t.cache
     (fun acc _ reader -> acc + Table.resident_bytes reader)
     0
+  + summary_bytes t
 
 let open_tables t = Pdb_util.Lru.length t.cache
 let hits t = Pdb_util.Lru.hits t.cache
 let misses t = Pdb_util.Lru.misses t.cache
+let summary_hits t = t.summary_hits
+let summary_misses t = t.summary_misses
+let summaries t = Hashtbl.length t.summaries

@@ -77,6 +77,14 @@ let find t k =
 (** [mem t k] tests presence without affecting recency or hit counters. *)
 let mem t k = Hashtbl.mem t.table k
 
+(** [peek t k] returns the cached value without promoting it or touching
+    the hit/miss counters — for accounting and opportunistic reads that
+    must not distort cache statistics. *)
+let peek t k =
+  match Hashtbl.find_opt t.table k with
+  | Some node -> Some node.value
+  | None -> None
+
 (** [insert t k v ~weight] adds or replaces an entry, evicting as needed.
     Entries heavier than the whole capacity are not cached. *)
 let insert t k v ~weight =

@@ -133,7 +133,7 @@ let iter_of env level =
   Pebblesdb.Flsm_level_iter.create ~level ~cache:tc ~block_cache:bc
     ~hint:Pdb_simio.Device.Random_read
     ~on_table:(fun () -> ())
-    ~parallel:None ()
+    ()
 
 let test_level_iter_merges_within_guard () =
   let env = Env.create () in
