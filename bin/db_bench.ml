@@ -34,22 +34,33 @@ let throttle_of_string = function
     | Ok t -> Ok (Some t)
     | Error msg -> Error msg)
 
+let repl_strategy_of_string = function
+  | None -> Ok None
+  | Some s -> (
+    match Pdb_kvs.Options.repl_strategy_of_string s with
+    | Ok r -> Ok (Some r)
+    | Error msg -> Error msg)
+
 let run store_name policy_name throttle_name l0_slowdown l0_stop benchmarks
-    num value_size seed clients shards probe_budget no_seek_filtering
-    table_cache table_cache_bytes trace_file =
+    num value_size seed clients shards replicas repl_strategy_name
+    probe_budget no_seek_filtering table_cache table_cache_bytes trace_file =
   match
     match
       ( engine_of_string store_name,
         policy_of_string policy_name,
-        throttle_of_string throttle_name )
+        throttle_of_string throttle_name,
+        repl_strategy_of_string repl_strategy_name )
     with
-    | Error msg, _, _ | _, Error msg, _ | _, _, Error msg -> Error msg
-    | Ok engine, Ok policy, Ok throttle -> Ok (engine, policy, throttle)
+    | Error msg, _, _, _ | _, Error msg, _, _ | _, _, Error msg, _
+    | _, _, _, Error msg ->
+      Error msg
+    | Ok engine, Ok policy, Ok throttle, Ok repl ->
+      Ok (engine, policy, throttle, repl)
   with
   | Error msg ->
     prerr_endline msg;
     exit 1
-  | Ok (engine, policy, throttle) ->
+  | Ok (engine, policy, throttle, repl_strategy) ->
     (* a policy request may remap the engine (flsm_guarded needs guards,
        the LSM layouts need the leveled/tiered engine) *)
     let engine =
@@ -103,6 +114,16 @@ let run store_name policy_name throttle_name l0_slowdown l0_stop benchmarks
         match table_cache_bytes with
         | None -> o
         | Some n -> { o with Pdb_kvs.Options.table_cache_bytes = Some n }
+      in
+      (* --replicas routes the store through the replication layer (each
+         shard replicates independently when combined with --shards) *)
+      let o =
+        if replicas > 0 then { o with Pdb_kvs.Options.replicas } else o
+      in
+      let o =
+        match repl_strategy with
+        | None -> o
+        | Some r -> { o with Pdb_kvs.Options.repl_strategy = r }
       in
       if shards <= 1 then o
       else
@@ -346,6 +367,21 @@ let shards_arg =
                  instances (each with its own WAL, memtable and compaction \
                  scheduler); 1 = plain single store.")
 
+let replicas_arg =
+  Arg.(value & opt int 0
+       & info [ "replicas" ]
+           ~doc:"Replicate the store to N backups over simulated network \
+                 links (primary-backup); 0 = unreplicated.  Combined with \
+                 --shards, each shard replicates independently.")
+
+let repl_strategy_arg =
+  Arg.(value & opt (some string) None
+       & info [ "repl-strategy" ] ~docv:"STRATEGY"
+           ~doc:"log | file — ship WAL groups (the backup replays and \
+                 compacts itself) or ship sstables and manifest edits as \
+                 flush/compaction installs them (the backup burns no \
+                 compaction CPU, the wire carries the write amplification).")
+
 let probe_budget_arg =
   Arg.(value & opt (some int) None
        & info [ "probe-budget" ] ~docv:"N"
@@ -385,8 +421,8 @@ let cmd =
     (Cmd.info "db_bench" ~doc:"Micro-benchmarks over the simulated stores")
     Term.(const run $ store_arg $ policy_arg $ throttle_arg $ l0_slowdown_arg
           $ l0_stop_arg $ benchmarks_arg $ num_arg $ value_size_arg $ seed_arg
-          $ clients_arg $ shards_arg $ probe_budget_arg
-          $ no_seek_filtering_arg $ table_cache_arg $ table_cache_bytes_arg
-          $ trace_arg)
+          $ clients_arg $ shards_arg $ replicas_arg $ repl_strategy_arg
+          $ probe_budget_arg $ no_seek_filtering_arg $ table_cache_arg
+          $ table_cache_bytes_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

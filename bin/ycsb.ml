@@ -25,7 +25,7 @@ let ycsb_splits shards =
       Printf.sprintf "user%016Lx" (Int64.mul step (Int64.of_int (i + 1))))
 
 let run store_name policy_name throttle_name workloads records ops value_size
-    clients shards trace_file =
+    clients shards replicas repl_strategy_name trace_file =
   let policy =
     match policy_name with
     | None -> None
@@ -42,6 +42,16 @@ let run store_name policy_name throttle_name workloads records ops value_size
     | Some s -> (
       match Pdb_kvs.Options.throttle_of_string s with
       | Ok t -> Some t
+      | Error msg ->
+        prerr_endline msg;
+        exit 1)
+  in
+  let repl_strategy =
+    match repl_strategy_name with
+    | None -> None
+    | Some s -> (
+      match Pdb_kvs.Options.repl_strategy_of_string s with
+      | Ok r -> Some r
       | Error msg ->
         prerr_endline msg;
         exit 1)
@@ -72,6 +82,14 @@ let run store_name policy_name throttle_name workloads records ops value_size
         match throttle with
         | None -> o
         | Some t -> { o with Pdb_kvs.Options.throttle = t }
+      in
+      let o =
+        if replicas > 0 then { o with Pdb_kvs.Options.replicas } else o
+      in
+      let o =
+        match repl_strategy with
+        | None -> o
+        | Some r -> { o with Pdb_kvs.Options.repl_strategy = r }
       in
       if shards <= 1 then o
       else
@@ -171,6 +189,20 @@ let shards_arg =
            ~doc:"Range-partition the keyspace over N independent engine \
                  instances; 1 = plain single store.")
 
+let replicas_arg =
+  Arg.(value & opt int 0
+       & info [ "replicas" ]
+           ~doc:"Replicate the store to N backups over simulated network \
+                 links (primary-backup); 0 = unreplicated.  Combined with \
+                 --shards, each shard replicates independently.")
+
+let repl_strategy_arg =
+  Arg.(value & opt (some string) None
+       & info [ "repl-strategy" ] ~docv:"STRATEGY"
+           ~doc:"log | file — ship WAL groups (the backup replays and \
+                 compacts itself) or ship sstables and manifest edits as \
+                 flush/compaction installs them.")
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -182,6 +214,6 @@ let cmd =
   Cmd.v (Cmd.info "ycsb" ~doc:"YCSB benchmark over the simulated stores")
     Term.(const run $ store_arg $ policy_arg $ throttle_arg $ workloads_arg
           $ records_arg $ ops_arg $ value_size_arg $ clients_arg $ shards_arg
-          $ trace_arg)
+          $ replicas_arg $ repl_strategy_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

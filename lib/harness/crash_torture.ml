@@ -290,3 +290,127 @@ let pp_result ppf r =
     "%s: %d/%d crash points (%d double, %d background, %d torn), %d failures"
     r.engine r.crash_points r.total_events r.double_crashes
     r.background_crashes r.torn_crashes (List.length r.failures)
+
+(* ---------- replication failover torture ---------- *)
+
+(** [run_failover ~strategy ?replicas engine] sweeps the same seeded
+    trace, but the crash kills the PRIMARY of a replicated deployment —
+    at WAL/flush/compaction IO like {!run}, and additionally at the
+    replication layer's own injection points (mid-group ship, mid-file
+    ship, mid-manifest install, mid-deletion).  Instead of recovering
+    the primary's file system, backup 0 is PROMOTED and verified
+    against the oracle under the ack contract: every op the primary
+    acknowledged (which, replicated, means every backup durably applied
+    it) must be present; the single in-flight op may be present or
+    absent; nothing else may differ, and the promoted store must pass
+    its invariant checks.  Every 7th point also crashes the backup
+    during promotion itself (which exercises recovery-from-the-mirror
+    under file shipping; log shipping's promotion does no IO, so its
+    plan never fires there) and promotes again over the torn mirror.
+    Crash points that land inside the deployment's initial open are
+    vacuous — no replica set exists yet, so nothing was acked. *)
+let run_failover ?(seed = 0xFA17) ?(ops = 140) ?(keyspace = 48)
+    ?(max_points = 64) ?(replicas = 1) ~strategy engine =
+  let tweak o =
+    {
+      (tweak ~shards:1 ~keyspace o) with
+      O.replicas;
+      repl_strategy = strategy;
+    }
+  in
+  let trace = gen_trace ~seed ~ops ~keyspace in
+  let total_events =
+    let env = Env.create () in
+    let plan = Env.Fault_plan.create ~seed ~crash_after:max_int () in
+    Env.set_fault_plan env plan;
+    let h = Stores.open_repl ~tweak ~env engine in
+    let oracle = Hashtbl.create 64 in
+    (match run_trace h.Stores.rh_dyn oracle trace with
+     | None -> ()
+     | Some op ->
+       failwith ("run_failover: unexpected crash at " ^ op_name op));
+    let ticks = Env.Fault_plan.ticks plan in
+    h.Stores.rh_dyn.Dyn.d_close ();
+    ticks
+  in
+  let stride = max 1 (total_events / max_points) in
+  let crash_points = ref 0 in
+  let double_crashes = ref 0 in
+  let background_crashes = ref 0 in
+  let torn_crashes = ref 0 in
+  let failures = ref [] in
+  let n = ref 1 in
+  while !n <= total_events do
+    let point = !n in
+    incr crash_points;
+    let env = Env.create () in
+    let plan =
+      Env.Fault_plan.create ~seed:(seed + point) ~crash_after:point ()
+    in
+    Env.set_fault_plan env plan;
+    let oracle = Hashtbl.create 64 in
+    let in_flight = ref None in
+    let handle = ref None in
+    (try
+       let h = Stores.open_repl ~tweak ~env engine in
+       handle := Some h;
+       in_flight := run_trace h.Stores.rh_dyn oracle trace
+     with Env.Injected_crash _ -> (* died during the initial open *) ());
+    if not (Env.Fault_plan.fired plan) then
+      failures :=
+        (point, "plan never fired: trace ended before the crash point")
+        :: !failures
+    else begin
+      if Env.Fault_plan.fired_in_background plan then incr background_crashes;
+      match !handle with
+      | None -> () (* no replica set yet: vacuously consistent *)
+      | Some h ->
+        let promote () = h.Stores.rh_promote 0 in
+        (match
+           if !crash_points mod 7 = 0 then begin
+             (* kill the backup mid-promotion, then promote over the
+                torn mirror *)
+             let b_env = h.Stores.rh_backup_env 0 in
+             let plan2 =
+               Env.Fault_plan.create
+                 ~seed:((seed * 31) + point)
+                 ~crash_after:(1 + (point mod 13))
+                 ()
+             in
+             Env.set_fault_plan b_env plan2;
+             match promote () with
+             | db ->
+               Env.clear_fault_plan b_env;
+               Ok db
+             | exception Env.Injected_crash _ ->
+               incr double_crashes;
+               Env.crash b_env;
+               if Env.Fault_plan.torn_files plan2 > 0 then incr torn_crashes;
+               Env.clear_fault_plan b_env;
+               (try Ok (promote ()) with e -> Error e)
+           end
+           else try Ok (promote ()) with e -> Error e
+         with
+         | Error e ->
+           failures :=
+             (point, "promotion raised " ^ Printexc.to_string e) :: !failures
+         | Ok db ->
+           List.iter
+             (fun msg -> failures := (point, msg) :: !failures)
+             (verify db oracle !in_flight ~keyspace);
+           db.Dyn.d_close ())
+    end;
+    n := !n + stride
+  done;
+  {
+    engine =
+      Printf.sprintf "%s/%s K=%d failover" (Stores.engine_name engine)
+        (O.repl_strategy_name strategy)
+        replicas;
+    total_events;
+    crash_points = !crash_points;
+    double_crashes = !double_crashes;
+    background_crashes = !background_crashes;
+    torn_crashes = !torn_crashes;
+    failures = List.rev !failures;
+  }

@@ -1602,6 +1602,138 @@ let run_read_at ~n () =
 let run_read () = run_read_at ~n:n_medium ()
 let run_read_smoke () = run_read_at ~n:(n_medium / 5) ()
 
+(* ---------------- repl : replication over a simulated network ----------- *)
+
+(* Log shipping vs file (compaction) shipping (DESIGN.md "Replication"):
+   the same seeded fill against each paper engine, replicated to K
+   backups over simulated 10GbE links.  Log shipping forwards each
+   committed group and the backup re-runs the whole write path — its
+   own flushes and compactions — so the wire carries user bytes once
+   per backup but backup CPU duplicates the primary's.  File shipping
+   mirrors sstables and manifest edits as flush/compaction installs
+   them: the backup spends no compaction CPU at all, but the wire
+   carries the engine's full write amplification — which is why the
+   FLSM engine, with the lowest WA, ships the fewest file-shipping
+   bytes among the LSM stores. *)
+let run_repl_at ~n () =
+  let strategies = [ O.Log_shipping; O.File_shipping ] in
+  let run_one engine strategy k =
+    let tweak (o : O.t) = { o with O.replicas = k; repl_strategy = strategy } in
+    let store = Stores.open_engine ~tweak engine in
+    let lat = L.create () in
+    let timed = L.instrument lat store in
+    let fill = B.fill_random timed ~n ~value_bytes:value_1k ~seed in
+    store.Dyn.d_flush ();
+    let st = store.Dyn.d_stats () in
+    let net_bytes =
+      st.Pdb_kvs.Engine_stats.repl_log_bytes_shipped
+      + st.Pdb_kvs.Engine_stats.repl_file_bytes_shipped
+    in
+    let backup_cpu_ms =
+      st.Pdb_kvs.Engine_stats.repl_backup_busy_ns /. 1e6
+    in
+    let ack_wait_ms = st.Pdb_kvs.Engine_stats.repl_ack_wait_ns /. 1e6 in
+    let p99_us = H.percentile (L.hist lat L.Write) 99.0 /. 1e3 in
+    let messages = st.Pdb_kvs.Engine_stats.repl_messages in
+    store.Dyn.d_close ();
+    (fill.B.kops, net_bytes, messages, backup_cpu_ms, ack_wait_ms, p99_us)
+  in
+  let results =
+    List.concat_map
+      (fun engine ->
+        List.concat_map
+          (fun strategy ->
+            List.map
+              (fun k ->
+                let r = run_one engine strategy k in
+                let (kops, net_bytes, _, backup_cpu_ms, ack_wait_ms, p99_us) =
+                  r
+                in
+                let store =
+                  Printf.sprintf "%s+%s+k%d"
+                    (Stores.engine_name engine)
+                    (O.repl_strategy_name strategy)
+                    k
+                in
+                B.Json.metric ~store "fill_kops" kops;
+                B.Json.metric ~store "net_mb" (B.mb net_bytes);
+                B.Json.metric ~store "backup_cpu_ms" backup_cpu_ms;
+                B.Json.metric ~store "ack_wait_ms" ack_wait_ms;
+                B.Json.metric ~store "write_ack_p99_us" p99_us;
+                ((engine, strategy, k), r))
+              [ 1; 2 ])
+          strategies)
+      Stores.paper_stores
+  in
+  B.print_table
+    ~title:
+      (Printf.sprintf
+         "Replication — %dk x 1KB fill, log vs file shipping to K backups \
+          over 10GbE links"
+         (n / 1000))
+    ~header:
+      [ "store"; "strategy"; "K"; "fill KOps/s"; "net MB"; "messages";
+        "backup CPU ms"; "ack wait ms"; "write p99 us" ]
+    (List.map
+       (fun ((engine, strategy, k),
+             (kops, net_bytes, messages, backup_cpu_ms, ack_wait_ms, p99_us))
+       ->
+         [
+           Stores.engine_name engine;
+           O.repl_strategy_name strategy;
+           string_of_int k;
+           B.fmt_f ~digits:1 kops;
+           B.fmt_f (B.mb net_bytes);
+           string_of_int messages;
+           B.fmt_f ~digits:1 backup_cpu_ms;
+           B.fmt_f ~digits:1 ack_wait_ms;
+           B.fmt_f ~digits:1 p99_us;
+         ])
+       results);
+  (* the acceptance shape, stated explicitly: per engine (at K=1), file
+     shipping puts more bytes on the wire but relieves the backup of
+     (at least 5x) the compaction CPU; and across engines, the FLSM
+     store ships the fewest file-shipping bytes — fragmented guards
+     rewrite the least data, so they also replicate the least data *)
+  let find engine strategy =
+    List.assoc_opt (engine, strategy, 1) results
+  in
+  List.iter
+    (fun engine ->
+      match (find engine O.Log_shipping, find engine O.File_shipping) with
+      | ( Some (_, log_net, _, log_cpu, _, log_p99),
+          Some (_, file_net, _, file_cpu, _, file_p99) ) ->
+        let shape_ok =
+          file_net > log_net && file_cpu *. 5.0 <= log_cpu
+        in
+        pf
+          "  %s: net MB log %.1f file %.1f (%.2fx), backup CPU ms log %.1f \
+           file %.1f, write p99 us log %.1f file %.1f%s\n"
+          (Stores.engine_name engine)
+          (B.mb log_net) (B.mb file_net)
+          (rel (B.mb log_net) (B.mb file_net))
+          log_cpu file_cpu log_p99 file_p99
+          (if shape_ok then "" else "  [SHAPE MISS — investigate]")
+      | _ -> ())
+    Stores.paper_stores;
+  (match
+     List.filter_map
+       (fun engine ->
+         Option.map
+           (fun (_, net, _, _, _, _) -> (engine, net))
+           (find engine O.File_shipping))
+       Stores.paper_stores
+   with
+   | (_, pebbles_net) :: rest when rest <> [] ->
+     let fewest = List.for_all (fun (_, net) -> pebbles_net <= net) rest in
+     pf "  file-shipping bytes: pebblesdb %.1f MB %s\n" (B.mb pebbles_net)
+       (if fewest then "(fewest — lowest WA replicates least)"
+        else "[NOT fewest — investigate]")
+   | _ -> ())
+
+let run_repl () = run_repl_at ~n:n_medium ()
+let run_repl_smoke () = run_repl_at ~n:(n_medium / 5) ()
+
 (* ---------------- registry ---------------------------------------------- *)
 
 let all : experiment list =
@@ -1648,6 +1780,10 @@ let all : experiment list =
       run = run_read };
     { id = "read-smoke"; title = "Read path (reduced scale)";
       run = run_read_smoke };
+    { id = "repl"; title = "Replication: log vs file shipping";
+      run = run_repl };
+    { id = "repl-smoke"; title = "Replication (reduced scale)";
+      run = run_repl_smoke };
     { id = "future"; title = "Future-work features (ch. 7)";
       run = run_future_work };
   ]

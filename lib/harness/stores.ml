@@ -83,6 +83,10 @@ module Pebbles_engine = struct
 
   let get_at t ~snapshot k = Pebblesdb.Pebbles_store.get ~snapshot t k
   let iterator_at t ~snapshot = Pebblesdb.Pebbles_store.iterator ~snapshot t
+
+  let on_job_complete t f =
+    Pdb_compaction.Scheduler.set_observer (compaction_scheduler t) (fun _ ->
+        f ())
 end
 
 module Lsm_engine = struct
@@ -98,6 +102,10 @@ module Lsm_engine = struct
 
   let get_at t ~snapshot k = Pdb_lsm.Lsm_store.get ~snapshot t k
   let iterator_at t ~snapshot = Pdb_lsm.Lsm_store.iterator ~snapshot t
+
+  let on_job_complete t f =
+    Pdb_compaction.Scheduler.set_observer (compaction_scheduler t) (fun _ ->
+        f ())
 end
 
 module Btree_engine = struct
@@ -110,6 +118,7 @@ module Btree_engine = struct
   let release_snapshot _ _ = ()
   let get_at t ~snapshot:_ k = get t k
   let iterator_at t ~snapshot:_ = iterator t
+  let on_job_complete _ _ = () (* no background scheduler *)
 end
 
 module Wt_engine = struct
@@ -120,12 +129,34 @@ module Wt_engine = struct
   let release_snapshot _ _ = ()
   let get_at t ~snapshot:_ k = get t k
   let iterator_at t ~snapshot:_ = iterator t
+  let on_job_complete _ _ = () (* no background scheduler *)
 end
 
 module Sharded_pebbles = Shard.Make (Pebbles_engine)
 module Sharded_lsm = Shard.Make (Lsm_engine)
 module Sharded_btree = Shard.Make (Btree_engine)
 module Sharded_wt = Shard.Make (Wt_engine)
+
+(* Replicated engines: each wraps the raw engine with a primary + K
+   backups over a simulated network (see Pdb_repl.Repl_store).  The
+   replicated module again satisfies {!Shard.ENGINE}, so a sharded
+   replicated store — [Shard.Make] over a replicated engine — replicates
+   each shard independently: per-shard links, backups and acks. *)
+module Repl_pebbles = Pdb_repl.Repl_store.Make (Pebbles_engine)
+module Repl_lsm = Pdb_repl.Repl_store.Make (Lsm_engine)
+module Repl_btree = Pdb_repl.Repl_store.Make (Btree_engine)
+module Repl_wt = Pdb_repl.Repl_store.Make (Wt_engine)
+module Sharded_repl_pebbles = Shard.Make (Repl_pebbles)
+module Sharded_repl_lsm = Shard.Make (Repl_lsm)
+
+(* The page stores mutate files in place (positioned writes), which the
+   file-shipping mirror's append-only length diffing cannot track —
+   their replication always ships the log. *)
+let normalize_repl engine (opts : O.t) =
+  match (engine, opts.O.repl_strategy) with
+  | (Btree | Wiredtiger), O.File_shipping when opts.O.replicas > 0 ->
+    { opts with O.repl_strategy = O.Log_shipping }
+  | _ -> opts
 
 (** A sharded store with its shard-level surface exposed for tests and
     experiments: routing, per-shard iteration, snapshot fences (None for
@@ -175,7 +206,7 @@ let make_sharded (type a) (module E : Shard.ENGINE with type t = a)
     byte-interpolated splits when unset — workloads with a common key
     prefix should set explicit splits). *)
 let open_sharded ?(tweak = Fun.id) ?env ?shards engine =
-  let opts = tweak (default_options engine) in
+  let opts = normalize_repl engine (tweak (default_options engine)) in
   let opts =
     match shards with
     | Some n -> { opts with O.shards = max 1 n }
@@ -183,13 +214,23 @@ let open_sharded ?(tweak = Fun.id) ?env ?shards engine =
   in
   let env = match env with Some e -> e | None -> Env.create () in
   let dir = "db" in
-  match engine with
-  | Pebblesdb | Pebblesdb_one ->
-    make_sharded (module Pebbles_engine) ~snapshots:true opts ~env ~dir
-  | Hyperleveldb | Leveldb | Rocksdb ->
-    make_sharded (module Lsm_engine) ~snapshots:true opts ~env ~dir
-  | Btree -> make_sharded (module Btree_engine) ~snapshots:false opts ~env ~dir
-  | Wiredtiger ->
+  if opts.O.replicas > 0 then
+    match engine with
+    | Pebblesdb | Pebblesdb_one ->
+      make_sharded (module Repl_pebbles) ~snapshots:true opts ~env ~dir
+    | Hyperleveldb | Leveldb | Rocksdb ->
+      make_sharded (module Repl_lsm) ~snapshots:true opts ~env ~dir
+    | Btree -> make_sharded (module Repl_btree) ~snapshots:false opts ~env ~dir
+    | Wiredtiger ->
+      make_sharded (module Repl_wt) ~snapshots:false opts ~env ~dir
+  else
+    match engine with
+    | Pebblesdb | Pebblesdb_one ->
+      make_sharded (module Pebbles_engine) ~snapshots:true opts ~env ~dir
+    | Hyperleveldb | Leveldb | Rocksdb ->
+      make_sharded (module Lsm_engine) ~snapshots:true opts ~env ~dir
+    | Btree -> make_sharded (module Btree_engine) ~snapshots:false opts ~env ~dir
+    | Wiredtiger ->
     make_sharded (module Wt_engine) ~snapshots:false opts ~env ~dir
 
 (** [open_engine ?tweak ?env ?shards engine] opens a fresh store.  [tweak]
@@ -205,21 +246,71 @@ let open_engine ?(tweak = Fun.id) ?env ?shards engine =
   if shards <> None || sharded_via_opts then
     (open_sharded ~tweak ?env ?shards engine).s_dyn
   else begin
-    let opts = tweak (default_options engine) in
+    let opts = normalize_repl engine (tweak (default_options engine)) in
     let env = match env with Some e -> e | None -> Env.create () in
     let dir = "db" in
-    match engine with
-    | Pebblesdb | Pebblesdb_one ->
-      Dyn.dyn_of
-        (module Pebbles_engine)
-        (Pebbles_engine.open_store opts ~env ~dir)
-    | Hyperleveldb | Leveldb | Rocksdb ->
-      Dyn.dyn_of (module Lsm_engine) (Lsm_engine.open_store opts ~env ~dir)
-    | Btree ->
-      Dyn.dyn_of (module Btree_engine) (Btree_engine.open_store opts ~env ~dir)
-    | Wiredtiger ->
-      Dyn.dyn_of (module Wt_engine) (Wt_engine.open_store opts ~env ~dir)
+    if opts.O.replicas > 0 then
+      match engine with
+      | Pebblesdb | Pebblesdb_one ->
+        Dyn.dyn_of (module Repl_pebbles) (Repl_pebbles.open_store opts ~env ~dir)
+      | Hyperleveldb | Leveldb | Rocksdb ->
+        Dyn.dyn_of (module Repl_lsm) (Repl_lsm.open_store opts ~env ~dir)
+      | Btree ->
+        Dyn.dyn_of (module Repl_btree) (Repl_btree.open_store opts ~env ~dir)
+      | Wiredtiger ->
+        Dyn.dyn_of (module Repl_wt) (Repl_wt.open_store opts ~env ~dir)
+    else
+      match engine with
+      | Pebblesdb | Pebblesdb_one ->
+        Dyn.dyn_of
+          (module Pebbles_engine)
+          (Pebbles_engine.open_store opts ~env ~dir)
+      | Hyperleveldb | Leveldb | Rocksdb ->
+        Dyn.dyn_of (module Lsm_engine) (Lsm_engine.open_store opts ~env ~dir)
+      | Btree ->
+        Dyn.dyn_of (module Btree_engine) (Btree_engine.open_store opts ~env ~dir)
+      | Wiredtiger ->
+        Dyn.dyn_of (module Wt_engine) (Wt_engine.open_store opts ~env ~dir)
   end
+
+(** A replicated store with its failover surface exposed: promote backup
+    [i] to a servable store (log shipping hands over the live replaying
+    engine; file shipping recovers from the mirrored bytes), and reach a
+    backup's environment to crash it or inspect its files. *)
+type repl_handle = {
+  rh_dyn : Dyn.dyn;
+  rh_replicas : int;
+  rh_strategy : O.repl_strategy;
+  rh_promote : int -> Dyn.dyn;
+  rh_backup_env : int -> Env.t;
+}
+
+(** [open_repl ?tweak ?env engine] opens [engine] replicated (at least
+    one backup; more when the tweak raises [O.replicas]).  Unsharded:
+    the failover surface is per-store, which is what the crash torture
+    drives. *)
+let open_repl ?(tweak = Fun.id) ?env engine =
+  let opts = normalize_repl engine (tweak (default_options engine)) in
+  let opts = { opts with O.replicas = max 1 opts.O.replicas } in
+  let env = match env with Some e -> e | None -> Env.create () in
+  let dir = "db" in
+  let pack (type a)
+      (module R : Pdb_repl.Repl_store.REPL with type t = a) (t : a) =
+    {
+      rh_dyn = Dyn.dyn_of (module R) t;
+      rh_replicas = R.backup_count t;
+      rh_strategy = R.strategy t;
+      rh_promote = R.promote_dyn t;
+      rh_backup_env = R.backup_env t;
+    }
+  in
+  match engine with
+  | Pebblesdb | Pebblesdb_one ->
+    pack (module Repl_pebbles) (Repl_pebbles.open_store opts ~env ~dir)
+  | Hyperleveldb | Leveldb | Rocksdb ->
+    pack (module Repl_lsm) (Repl_lsm.open_store opts ~env ~dir)
+  | Btree -> pack (module Repl_btree) (Repl_btree.open_store opts ~env ~dir)
+  | Wiredtiger -> pack (module Repl_wt) (Repl_wt.open_store opts ~env ~dir)
 
 (** The four key-value stores of the paper's main comparisons. *)
 let paper_stores = [ Pebblesdb; Hyperleveldb; Leveldb; Rocksdb ]

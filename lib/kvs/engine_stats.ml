@@ -89,6 +89,18 @@ type t = {
   mutable block_cache_misses : int;
   mutable table_cache_hits : int;
   mutable table_cache_misses : int;
+  (* primary–backup replication, set by the repl layer's stats wrapper *)
+  mutable repl_backups : int;  (** live backups behind this record *)
+  mutable repl_log_bytes_shipped : int;
+      (** WAL-record bytes forwarded under log shipping *)
+  mutable repl_file_bytes_shipped : int;
+      (** sstable/manifest bytes forwarded under file shipping *)
+  mutable repl_messages : int;  (** network messages across all links *)
+  mutable repl_ack_wait_ns : float;
+      (** foreground time spent waiting on backup acks *)
+  mutable repl_backup_busy_ns : float;
+      (** backup-side flush/compaction worker time (log shipping re-runs
+          the merge work; file shipping leaves backups idle) *)
   (* sharding breakdown, set by the shard store's aggregation *)
   mutable shards : int;  (** engine instances behind this stats record *)
   mutable shard_user_bytes : int array;
@@ -164,6 +176,12 @@ let create () =
     block_cache_misses = 0;
     table_cache_hits = 0;
     table_cache_misses = 0;
+    repl_backups = 0;
+    repl_log_bytes_shipped = 0;
+    repl_file_bytes_shipped = 0;
+    repl_messages = 0;
+    repl_ack_wait_ns = 0.0;
+    repl_backup_busy_ns = 0.0;
     shards = 1;
     shard_user_bytes = [||];
     shard_balance = 1.0;
@@ -256,7 +274,16 @@ let aggregate ~shared_cache per_shard =
          t.block_cache_misses <- t.block_cache_misses + s.block_cache_misses
        end);
       t.table_cache_hits <- t.table_cache_hits + s.table_cache_hits;
-      t.table_cache_misses <- t.table_cache_misses + s.table_cache_misses)
+      t.table_cache_misses <- t.table_cache_misses + s.table_cache_misses;
+      (* each shard replicates independently: links and backups sum *)
+      t.repl_backups <- t.repl_backups + s.repl_backups;
+      t.repl_log_bytes_shipped <-
+        t.repl_log_bytes_shipped + s.repl_log_bytes_shipped;
+      t.repl_file_bytes_shipped <-
+        t.repl_file_bytes_shipped + s.repl_file_bytes_shipped;
+      t.repl_messages <- t.repl_messages + s.repl_messages;
+      t.repl_ack_wait_ns <- t.repl_ack_wait_ns +. s.repl_ack_wait_ns;
+      t.repl_backup_busy_ns <- t.repl_backup_busy_ns +. s.repl_backup_busy_ns)
     per_shard;
   t.shards <- List.length per_shard;
   t.shard_user_bytes <- shard_bytes;

@@ -75,6 +75,31 @@ let throttle_of_string = function
 
 let all_throttles = [ Unthrottled; Cliff; Token_bucket ]
 
+(** What a primary ships to its backups (Vardoulakis et al.'s design
+    axis).  [Log_shipping] forwards WAL records at group-commit
+    granularity and the backup re-runs its own flush/compaction — few
+    network bytes, backup CPU burned re-merging.  [File_shipping] ships
+    sstables and manifest edits as flush/compaction installs them — the
+    backup applies bytes without merging, so its CPU idles while the
+    network carries the primary's full write amplification. *)
+type repl_strategy =
+  | Log_shipping
+  | File_shipping
+
+let repl_strategy_name = function
+  | Log_shipping -> "log"
+  | File_shipping -> "file"
+
+let repl_strategy_of_string = function
+  | "log" | "log_shipping" | "log-shipping" | "wal" -> Ok Log_shipping
+  | "file" | "file_shipping" | "file-shipping" | "sst" -> Ok File_shipping
+  | s ->
+    Error
+      (Printf.sprintf "unknown replication strategy %S (expected log | file)"
+         s)
+
+let all_repl_strategies = [ Log_shipping; File_shipping ]
+
 type t = {
   name : string;
   compaction_policy : compaction_policy;
@@ -159,6 +184,9 @@ type t = {
   shard_share_block_cache : bool;
       (** one block cache shared by every shard (memory stays at
           [block_cache_bytes] total) instead of one cache per shard *)
+  (* primary–backup replication (lib/repl, over any engine or shard) *)
+  replicas : int;  (** backups per primary; [0] disables replication *)
+  repl_strategy : repl_strategy;
   (* modeled CPU costs, ns (shared across engines) *)
   cpu_per_op_ns : float;
   cpu_per_sstable_ns : float;  (** examining one sstable (search/position) *)
@@ -215,6 +243,8 @@ let base =
     shards = 1;
     shard_splits = [];
     shard_share_block_cache = true;
+    replicas = 0;
+    repl_strategy = Log_shipping;
     cpu_per_op_ns = 1_000.0;
     cpu_per_sstable_ns = 5_000.0;
     cpu_per_block_search_ns = 1_000.0;

@@ -60,6 +60,9 @@ module Make (E : ENGINE) = struct
     mutable fences : (int * int array) list;
         (** live snapshot fences: id -> per-shard pinned sequences *)
     mutable next_fence : int;
+    mutable transient_fence : int array option;
+        (** pins backing unfenced iterators; held until the next write
+            invalidates those iterators (see [capture_fence]) *)
   }
 
   let router t = t.router
@@ -94,9 +97,24 @@ module Make (E : ENGINE) = struct
       shared_cache;
       fences = [];
       next_fence = 1;
+      transient_fence = None;
     }
 
-  let close t = Array.iter E.close t.shards
+  (* Release the pins behind unfenced iterators.  Called by every
+     mutating operation: writes invalidate open iterators (the store's
+     documented contract), so their fence no longer needs protecting —
+     and the write also advances shard sequences, making a cached fence
+     stale. *)
+  let invalidate_transient t =
+    match t.transient_fence with
+    | Some seqs ->
+      t.transient_fence <- None;
+      Array.iteri (fun i s -> E.release_snapshot t.shards.(i) s) seqs
+    | None -> ()
+
+  let close t =
+    invalidate_transient t;
+    Array.iter E.close t.shards
   let options t = t.opts
   let env t = t.env
   let shard_of_key t key = Shard_router.shard_of_key t.router key
@@ -104,8 +122,13 @@ module Make (E : ENGINE) = struct
 
   (* ---------- writes ---------- *)
 
-  let put t k v = E.put (route t k) k v
-  let delete t k = E.delete (route t k) k
+  let put t k v =
+    invalidate_transient t;
+    E.put (route t k) k v
+
+  let delete t k =
+    invalidate_transient t;
+    E.delete (route t k) k
 
   (* Split one batch into per-shard sub-batches, preserving the in-batch
      operation order within each shard.  Cross-shard atomicity matches
@@ -131,6 +154,7 @@ module Make (E : ENGINE) = struct
     subs
 
   let write t batch =
+    invalidate_transient t;
     let subs = split_batch t batch in
     Array.iteri
       (fun i sub ->
@@ -142,6 +166,7 @@ module Make (E : ENGINE) = struct
      it received — one coalesced WAL append and one sync per *shard*, the
      multi-instance shape of LevelDB's writers queue. *)
   let write_group t batches =
+    invalidate_transient t;
     let n = Array.length t.shards in
     let per_shard = Array.make n [] in
     List.iter
@@ -161,22 +186,35 @@ module Make (E : ENGINE) = struct
         | subs -> E.write_group t.shards.(i) subs)
       per_shard
 
-  let flush t = Array.iter E.flush t.shards
-  let compact_all t = Array.iter E.compact_all t.shards
+  let flush t =
+    invalidate_transient t;
+    Array.iter E.flush t.shards
+
+  let compact_all t =
+    invalidate_transient t;
+    Array.iter E.compact_all t.shards
 
   (* ---------- reads ---------- *)
 
   let get t k = E.get (route t k) k
 
   (* A back-to-back capture of every shard's current sequence — the
-     common fence all per-shard iterators read at. *)
+     common fence all per-shard iterators read at.  The pins are HELD,
+     not released: releasing immediately would let a compaction landing
+     while the merged iterator is alive (e.g. a seek-triggered one) drop
+     versions the fence should see and GC sstable files the iterator
+     still reads.  Engines have no iterator close, so the pins live
+     until the next write — which invalidates open iterators anyway.
+     Quiescent reads reuse the cached fence: with no intervening write
+     the shard sequences are unchanged, so iterator-heavy phases pin one
+     fence, not one per scan. *)
   let capture_fence t =
-    Array.map
-      (fun shard ->
-        let s = E.snapshot shard in
-        E.release_snapshot shard s;
-        s)
-      t.shards
+    match t.transient_fence with
+    | Some seqs -> seqs
+    | None ->
+      let seqs = Array.map E.snapshot t.shards in
+      t.transient_fence <- Some seqs;
+      seqs
 
   let merged_iterator t seqs =
     (* ranges are disjoint and shard order is key order, but the merge

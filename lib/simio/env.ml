@@ -251,6 +251,23 @@ let exists t name = Hashtbl.mem t.files name
 
 let file_size t name = (find t name).len
 
+(** [peek t name ~pos ~len] reads a range without charging device time or
+    IO stats — the sendfile-style path replication shipping uses, where
+    the primary streams file bytes it just wrote (still page-cache
+    resident) onto the wire.  The network link charges the transfer. *)
+let peek t name ~pos ~len =
+  let f = find t name in
+  if pos < 0 || len < 0 || pos + len > f.len then
+    invalid_arg
+      (Printf.sprintf "Env.peek %s: [%d,%d) out of bounds (size %d)" name pos
+         (pos + len) f.len);
+  Bytes.sub_string f.data pos len
+
+(** [io_event t label] registers an external IO event (e.g. a replication
+    ship) with the fault-injection plan, so crash sweeps land between and
+    inside shipping steps exactly as they do between file operations. *)
+let io_event t label = tick t label
+
 (** [read t name ~pos ~len ~hint] reads a range, charging device cost per
     the read [hint].  Cached layers above this module avoid calling it for
     cache hits. *)

@@ -122,6 +122,19 @@ val file_size : t -> string -> int
     @raise Sys_error when the file does not exist. *)
 val read : t -> string -> pos:int -> len:int -> hint:Device.read_hint -> string
 
+(** [peek t name ~pos ~len] reads a range without charging device time or
+    IO stats — the sendfile-style path replication uses to put freshly
+    written (page-cache-resident) bytes on the wire; the {!Network} link
+    charges the transfer instead.
+    @raise Invalid_argument on an out-of-bounds range.
+    @raise Sys_error when the file does not exist. *)
+val peek : t -> string -> pos:int -> len:int -> string
+
+(** [io_event t label] registers an external IO event (e.g. one
+    replication shipping step) with any installed {!Fault_plan}, so crash
+    sweeps can fire between and inside shipping steps. *)
+val io_event : t -> string -> unit
+
 val read_all : t -> string -> hint:Device.read_hint -> string
 val delete : t -> string -> unit
 

@@ -57,6 +57,10 @@ let finish ctx s =
   if n > 1 then begin
     let total = List.fold_left ( +. ) 0.0 s.costs in
     let overlapped = makespan ~lanes:(ctx.budget ()) s.costs in
+    (* snapshot the end time before refunding: the refund rewinds the
+       clock, so measuring afterwards under-reports (or negative-reports)
+       the session's duration *)
+    let end_elapsed = now ctx in
     if total > overlapped then
       (* pay the makespan plus a queueing share of the overlap *)
       Clock.refund ctx.clock (0.5 *. (total -. overlapped));
@@ -64,7 +68,7 @@ let finish ctx s =
     | Some tr when total > 0.0 ->
       Trace.span tr ~name:("probe:" ^ s.label) ~cat:"probe"
         ~lane:"foreground" ~start_ns:s.start_elapsed
-        ~dur_ns:(now ctx -. s.start_elapsed)
+        ~dur_ns:(end_elapsed -. s.start_elapsed)
         ~args:
           [
             ("tables", string_of_int n);

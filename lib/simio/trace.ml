@@ -36,9 +36,13 @@ let record t ev =
   t.next <- (t.next + 1) mod t.capacity;
   t.count <- t.count + 1
 
-(** [span t ~name ~cat ~lane ~start_ns ~dur_ns ()] records a complete span. *)
+(** [span t ~name ~cat ~lane ~start_ns ~dur_ns ()] records a complete
+    span.  Durations are recorded as given — producers are responsible
+    for non-negative values, and the trace validator asserts it, so a
+    producer measuring its end time on a rewound clock is caught rather
+    than silently clamped. *)
 let span t ?(args = []) ~name ~cat ~lane ~start_ns ~dur_ns () =
-  record t { name; cat; lane; ts_ns = start_ns; dur_ns = max 0.0 dur_ns; args }
+  record t { name; cat; lane; ts_ns = start_ns; dur_ns; args }
 
 (** [instant t ~name ~cat ~lane ~ts_ns ()] records a zero-duration event. *)
 let instant t ?(args = []) ~name ~cat ~lane ~ts_ns () =

@@ -217,6 +217,9 @@ type reader = {
   filter_handle : handle;
   prefix_len : int;
   mutable filter : filter_slot;
+  mutable on_filter_load : (unit -> unit) option;
+      (* notified when a Lazy filter materialises — the table cache
+         re-weighs the entry, whose resident footprint just changed *)
 }
 
 let ikey_compare = Pdb_kvs.Internal_key.compare
@@ -261,6 +264,7 @@ let open_reader ?(hint = Pdb_simio.Device.Random_read) env ~dir (meta : meta) =
     filter_handle = { offset = filter_off; size = filter_size };
     prefix_len;
     filter;
+    on_filter_load = None;
   }
 
 (** [open_via_summary env ~dir meta summary] reopens an evicted table
@@ -295,6 +299,7 @@ let open_via_summary ?(hint = Pdb_simio.Device.Random_read) env ~dir
     filter =
       (if filter_size = 0 then No_filter
        else Lazy { offset = filter_off; size = filter_size });
+    on_filter_load = None;
   }
 
 (* Materialise a lazy filter, charging the deferred random read. *)
@@ -309,7 +314,12 @@ let load_filter r =
            ~hint:Pdb_simio.Device.Random_read)
     in
     r.filter <- Loaded f;
+    (match r.on_filter_load with Some notify -> notify () | None -> ());
     Some f
+
+(** [set_on_filter_load r f] registers a one-per-reader hook run when a
+    deferred filter materialises (no-op if already resident or absent). *)
+let set_on_filter_load r f = r.on_filter_load <- Some f
 
 (** [may_contain r user_key] consults the table's bloom filter; [true] when
     no filter is attached. *)

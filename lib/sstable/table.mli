@@ -87,6 +87,11 @@ val has_filter : reader -> bool
 (** Whether the filter is decoded in memory (false while still lazy). *)
 val filter_resident : reader -> bool
 
+(** [set_on_filter_load r f] registers a hook run when a deferred filter
+    materialises — {!resident_bytes} changes at that moment, and the
+    byte-bounded table cache re-weighs its entry. *)
+val set_on_filter_load : reader -> (unit -> unit) -> unit
+
 (** The [prefix_bloom_len] this table was built with; 0 = none. *)
 val prefix_len : reader -> int
 

@@ -71,8 +71,20 @@ let find t (meta : Table.meta) =
       end
       else Table.open_reader t.env ~dir:t.dir meta
     in
-    Pdb_util.Lru.insert t.cache (key meta.Table.number) reader
-      ~weight:(weight_of t reader);
+    let k = key meta.Table.number in
+    Pdb_util.Lru.insert t.cache k reader ~weight:(weight_of t reader);
+    (* A summary-guided reader defers its filter block: the entry was
+       weighed without the decoded bloom, so re-weigh it the moment the
+       filter materialises — otherwise the byte budget tracks stale
+       sizes and the cache silently over-admits. *)
+    if t.by_bytes && Table.has_filter reader
+       && not (Table.filter_resident reader)
+    then
+      Table.set_on_filter_load reader (fun () ->
+          match Pdb_util.Lru.peek t.cache k with
+          | Some r when r == reader ->
+            Pdb_util.Lru.update_weight t.cache k ~weight:(weight_of t reader)
+          | Some _ | None -> ());
     reader
 
 (** [peek t meta] returns the cached reader without affecting recency or
@@ -108,6 +120,12 @@ let resident_bytes t =
     (fun acc _ reader -> acc + Table.resident_bytes reader)
     0
   + summary_bytes t
+
+(** Bytes the LRU's admission accounting believes it holds.  With a
+    byte-bounded cache this must equal the summed actual resident bytes
+    of the cached readers — the invariant the filter-load re-weigh
+    maintains. *)
+let accounted_bytes t = Pdb_util.Lru.used t.cache
 
 let open_tables t = Pdb_util.Lru.length t.cache
 let hits t = Pdb_util.Lru.hits t.cache

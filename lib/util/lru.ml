@@ -8,7 +8,7 @@
 type ('k, 'v) node = {
   key : 'k;
   value : 'v;
-  weight : int;
+  mutable weight : int;
   mutable prev : ('k, 'v) node option;
   mutable next : ('k, 'v) node option;
 }
@@ -103,6 +103,21 @@ let insert t k v ~weight =
       evict_one t
     done
   end
+
+(** [update_weight t k weight] re-weighs a resident entry in place —
+    for cached values whose footprint changes after insertion (a lazily
+    decoded part materialising).  Recency is unchanged; growing past
+    capacity evicts from the LRU end as usual (possibly the entry
+    itself). *)
+let update_weight t k ~weight =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+    t.used <- t.used - node.weight + weight;
+    node.weight <- weight;
+    while t.used > t.capacity do
+      evict_one t
+    done
+  | None -> ()
 
 let remove t k =
   match Hashtbl.find_opt t.table k with

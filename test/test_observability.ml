@@ -214,6 +214,35 @@ let test_json_validator () =
     (fun s -> Alcotest.(check bool) ("rejects " ^ s) false (json_valid s))
     [ {|{|}; {|{"a":}|}; {|[1,]|}; {|"unterminated|}; {|{}extra|} ]
 
+(* Regression: the probe span's duration must be measured before the
+   overlap refund rewinds the clock — measuring after under-reports the
+   session window by the refunded amount (and can go negative on
+   seek-heavy traces, which the dur >= 0 assertion above now catches
+   since Trace.span no longer clamps). *)
+let test_probe_span_timing () =
+  let clock = Clock.create () in
+  let tr = Trace.create () in
+  let ctx =
+    Pdb_simio.Probe.create_ctx ~clock
+      ~budget:(fun () -> 2)
+      ~tracer:(fun () -> Some tr)
+      ()
+  in
+  Pdb_simio.Probe.with_session ctx ~label:"seek" (fun () ->
+      Pdb_simio.Probe.measure ctx (fun () -> Clock.advance clock 1_000.0);
+      Pdb_simio.Probe.measure ctx (fun () -> Clock.advance clock 1_000.0));
+  (* two 1000ns probes on a budget of 2: serial total 2000, makespan 1000,
+     refund 0.5 * (2000 - 1000) = 500.  The session's real window is the
+     full 2000ns of measured device time before the refund. *)
+  let ev =
+    List.find (fun e -> e.Trace.cat = "probe") (Trace.events tr)
+  in
+  Alcotest.(check (float 1e-6))
+    "probe span covers the pre-refund window" 2_000.0 ev.Trace.dur_ns;
+  Alcotest.(check (float 1e-6))
+    "refund still applied" 1_500.0
+    (Clock.elapsed_ns (Clock.snapshot clock))
+
 let test_trace_smoke () =
   let env = Env.create () in
   let tr = Trace.create () in
@@ -315,6 +344,8 @@ let () =
       ( "trace",
         [
           Alcotest.test_case "json validator sanity" `Quick test_json_validator;
+          Alcotest.test_case "probe span measured before refund" `Quick
+            test_probe_span_timing;
           Alcotest.test_case "smoke: spans, bounds, json" `Quick
             test_trace_smoke;
         ] );

@@ -246,6 +246,41 @@ let test_cross_shard_batch () =
   done;
   store.Dyn.d_close ()
 
+(* ---------- fence-pin lifetime regression ---------- *)
+
+(* An unfenced scan's fence must stay pinned while the merged iterator is
+   alive: capture_fence used to release each shard's snapshot immediately,
+   so a compaction landing in that window (a seek-triggered one, say)
+   dropped versions/tombstones the fence should see and GC'd sstable
+   files the iterator still reads — crashing the scan.  We drive the
+   engine's compaction directly as a deterministic stand-in for such a
+   background compaction (the store's own mutating surface legitimately
+   invalidates iterators, so it cannot be used to trigger one here). *)
+let test_fence_pins_survive_compaction () =
+  let env = Env.create () in
+  let module SP = Pdb_shard.Shard_store.Make (Stores.Pebbles_engine) in
+  let opts =
+    { (Stores.default_options Stores.Pebblesdb) with O.shards = 1 }
+  in
+  let t = SP.open_store opts ~env ~dir:"db" in
+  let key i = Printf.sprintf "key-%03d" i in
+  for i = 0 to 49 do SP.put t (key i) (Printf.sprintf "v-%03d" i) done;
+  SP.put t "key-zz" "doomed";
+  SP.flush t;
+  SP.compact_all t;
+  (* tombstone in a newer table above the compacted value *)
+  SP.delete t "key-zz";
+  SP.flush t;
+  let it = SP.iterator t in
+  (* compaction lands while the scan is alive; with the fence pinned the
+     superseded tables stay on disk and the scan reads them intact *)
+  Stores.Pebbles_engine.compact_all (SP.shard_stores t).(0);
+  let got = entries_of_iter it in
+  let want = List.init 50 (fun i -> (key i, Printf.sprintf "v-%03d" i)) in
+  Alcotest.(check (list (pair string string)))
+    "scan over pinned fence is intact" want got;
+  SP.close t
+
 (* ---------- stats aggregation: the shared-cache regression ---------- *)
 
 (* With one shared block cache, every shard's stats mirror the same
@@ -359,6 +394,8 @@ let () =
           Alcotest.test_case "leveldb bytes invariant across clients" `Quick
             (test_state_invariance Stores.Leveldb);
           Alcotest.test_case "cross-shard batch" `Quick test_cross_shard_batch;
+          Alcotest.test_case "fence pins survive compaction" `Quick
+            test_fence_pins_survive_compaction;
         ] );
       ( "snapshot scans",
         [
