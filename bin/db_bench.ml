@@ -42,7 +42,7 @@ let repl_strategy_of_string = function
     | Error msg -> Error msg)
 
 let run store_name policy_name throttle_name l0_slowdown l0_stop benchmarks
-    num value_size seed clients shards replicas repl_strategy_name
+    num value_size seed clients shards elastic replicas repl_strategy_name
     probe_budget no_seek_filtering table_cache table_cache_bytes trace_file =
   match
     match
@@ -127,13 +127,17 @@ let run store_name policy_name throttle_name l0_slowdown l0_stop benchmarks
       in
       if shards <= 1 then o
       else
-        {
-          o with
-          Pdb_kvs.Options.shards;
-          shard_splits =
-            List.init (shards - 1) (fun i ->
-                B.key_of ((i + 1) * num / shards));
-        }
+        let o =
+          {
+            o with
+            Pdb_kvs.Options.shards;
+            shard_splits =
+              List.init (shards - 1) (fun i ->
+                  B.key_of ((i + 1) * num / shards));
+          }
+        in
+        (* --elastic lets the shard store resplit itself under load *)
+        if elastic then { o with Pdb_kvs.Options.elastic = true } else o
     in
     let store =
       Pdb_harness.Stores.open_engine ~tweak ~env
@@ -367,6 +371,14 @@ let shards_arg =
                  instances (each with its own WAL, memtable and compaction \
                  scheduler); 1 = plain single store.")
 
+let elastic_arg =
+  Arg.(value & flag
+       & info [ "elastic" ]
+           ~doc:"With --shards, let the store resplit itself under load: \
+                 hot shards split at the sampled median request key, cold \
+                 adjacent pairs merge, and ranges migrate as background \
+                 jobs on the compaction lanes (migrate:* trace spans).")
+
 let replicas_arg =
   Arg.(value & opt int 0
        & info [ "replicas" ]
@@ -421,7 +433,8 @@ let cmd =
     (Cmd.info "db_bench" ~doc:"Micro-benchmarks over the simulated stores")
     Term.(const run $ store_arg $ policy_arg $ throttle_arg $ l0_slowdown_arg
           $ l0_stop_arg $ benchmarks_arg $ num_arg $ value_size_arg $ seed_arg
-          $ clients_arg $ shards_arg $ replicas_arg $ repl_strategy_arg
+          $ clients_arg $ shards_arg $ elastic_arg $ replicas_arg
+          $ repl_strategy_arg
           $ probe_budget_arg $ no_seek_filtering_arg $ table_cache_arg
           $ table_cache_bytes_arg $ trace_arg)
 

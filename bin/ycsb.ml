@@ -25,7 +25,7 @@ let ycsb_splits shards =
       Printf.sprintf "user%016Lx" (Int64.mul step (Int64.of_int (i + 1))))
 
 let run store_name policy_name throttle_name workloads records ops value_size
-    clients shards replicas repl_strategy_name trace_file =
+    clients shards elastic replicas repl_strategy_name trace_file =
   let policy =
     match policy_name with
     | None -> None
@@ -93,7 +93,11 @@ let run store_name policy_name throttle_name workloads records ops value_size
       in
       if shards <= 1 then o
       else
-        { o with Pdb_kvs.Options.shards; shard_splits = ycsb_splits shards }
+        let o =
+          { o with Pdb_kvs.Options.shards; shard_splits = ycsb_splits shards }
+        in
+        (* --elastic lets the shard store resplit itself under load *)
+        if elastic then { o with Pdb_kvs.Options.elastic = true } else o
     in
     let store =
       Pdb_harness.Stores.open_engine ~tweak ~env
@@ -189,6 +193,14 @@ let shards_arg =
            ~doc:"Range-partition the keyspace over N independent engine \
                  instances; 1 = plain single store.")
 
+let elastic_arg =
+  Arg.(value & flag
+       & info [ "elastic" ]
+           ~doc:"With --shards, let the store resplit itself under load: \
+                 hot shards split at the sampled median request key, cold \
+                 adjacent pairs merge, and ranges migrate as background \
+                 jobs on the compaction lanes (migrate:* trace spans).")
+
 let replicas_arg =
   Arg.(value & opt int 0
        & info [ "replicas" ]
@@ -214,6 +226,6 @@ let cmd =
   Cmd.v (Cmd.info "ycsb" ~doc:"YCSB benchmark over the simulated stores")
     Term.(const run $ store_arg $ policy_arg $ throttle_arg $ workloads_arg
           $ records_arg $ ops_arg $ value_size_arg $ clients_arg $ shards_arg
-          $ replicas_arg $ repl_strategy_arg $ trace_arg)
+          $ elastic_arg $ replicas_arg $ repl_strategy_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

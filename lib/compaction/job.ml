@@ -18,6 +18,12 @@ type trigger =
   | Guard_merge  (** last-level guard rewrite to bound overlap *)
   | Seek  (** read-triggered compaction (allowed-seeks exhausted) *)
   | Manual  (** [compact_all] / explicit user request *)
+  | Migration_copy
+      (** shard elasticity: batches of a moving range written into the
+          destination shard (see [Pdb_shard.Shard_store]) *)
+  | Migration_clean
+      (** shard elasticity: tombstones retiring the moved range from the
+          source shard after the router install *)
 
 let trigger_name = function
   | Memtable_full -> "flush"
@@ -27,6 +33,8 @@ let trigger_name = function
   | Guard_merge -> "merge"
   | Seek -> "seek"
   | Manual -> "manual"
+  | Migration_copy -> "migrate:copy"
+  | Migration_clean -> "migrate:clean"
 
 type t = {
   key : string;

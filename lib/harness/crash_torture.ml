@@ -291,6 +291,190 @@ let pp_result ppf r =
     r.engine r.crash_points r.total_events r.double_crashes
     r.background_crashes r.torn_crashes (List.length r.failures)
 
+(* ---------- elastic migration torture ---------- *)
+
+type topo_action = Split of int | Merge of int
+
+(* Two shards with the controller parked: every split/merge in the sweep
+   is forced by the schedule, so the migration machinery (fence, copy
+   jobs, durable install, clean) sits at known op indices and the crash
+   sweep can land inside every phase of it. *)
+let elastic_tweak ~keyspace (o : O.t) =
+  {
+    o with
+    O.memtable_bytes = 2048;
+    wal_sync_writes = true;
+    shards = 2;
+    shard_splits = [ key (keyspace / 2) ];
+    elastic = true;
+    elastic_window_ops = max_int;
+  }
+
+let apply_action (sh : Stores.sharded) = function
+  | Split ki ->
+    let k = key ki in
+    ignore (sh.Stores.s_split ~shard:(sh.Stores.s_shard_of_key k) ~key:k)
+  | Merge at ->
+    let n = sh.Stores.s_shard_count () in
+    if n > 1 then ignore (sh.Stores.s_merge ~at:(min at (n - 2)))
+
+(* Forced moves spread across the trace: carve, collapse, re-carve — the
+   re-splits move ranges that already migrated once. *)
+let elastic_schedule ~ops ~keyspace =
+  [
+    (ops / 7, Split (keyspace / 4));
+    (2 * ops / 7, Split (3 * keyspace / 4));
+    (3 * ops / 7, Merge 0);
+    (4 * ops / 7, Split (keyspace / 8));
+    (5 * ops / 7, Merge 1);
+    (6 * ops / 7, Merge 0);
+  ]
+
+(* Run the trace with the schedule interleaved.  Returns the data op in
+   flight when an injected crash fired, or None — a crash inside a
+   forced topology action propagates to the caller (migrations move
+   copies of acked data; they have no data effect of their own). *)
+let run_trace_elastic (sh : Stores.sharded) ~schedule oracle trace =
+  let rec go i = function
+    | [] -> None
+    | op :: rest -> (
+      (match List.assoc_opt i schedule with
+       | Some a -> apply_action sh a
+       | None -> ());
+      match apply sh.Stores.s_dyn op with
+      | () ->
+        oracle_apply oracle op;
+        go (i + 1) rest
+      | exception Env.Injected_crash _ -> Some op)
+  in
+  go 0 trace
+
+(** [run_elastic ?seed ?ops ?keyspace ?max_points engine] sweeps crash
+    points across a trace that live-splits, merges and migrates shards
+    at scheduled op indices.  At every crash point the store is
+    reopened (every 7th point crashing again during recovery) and
+    checked two ways: the data must match the oracle exactly, and the
+    recovered split vector must be one of the topologies the schedule
+    installs — a migration lands wholly old or wholly new, never a
+    mix. *)
+let run_elastic ?(seed = 0xFA17) ?(ops = 140) ?(keyspace = 48)
+    ?(max_points = 64) engine =
+  let tweak = elastic_tweak ~keyspace in
+  let trace = gen_trace ~seed ~ops ~keyspace in
+  let schedule = elastic_schedule ~ops ~keyspace in
+  (* crash-free pass: count the IO events and record the topology
+     lineage — every split vector an install can leave behind *)
+  let total_events, topologies =
+    let env = Env.create () in
+    let plan = Env.Fault_plan.create ~seed ~crash_after:max_int () in
+    Env.set_fault_plan env plan;
+    let sh = Stores.open_sharded ~tweak ~env engine in
+    let topologies = ref [ sh.Stores.s_splits () ] in
+    let oracle = Hashtbl.create 64 in
+    let rec go i = function
+      | [] -> ()
+      | op :: rest ->
+        (match List.assoc_opt i schedule with
+         | Some a ->
+           apply_action sh a;
+           topologies := sh.Stores.s_splits () :: !topologies
+         | None -> ());
+        apply sh.Stores.s_dyn op;
+        oracle_apply oracle op;
+        go (i + 1) rest
+    in
+    go 0 trace;
+    let ticks = Env.Fault_plan.ticks plan in
+    sh.Stores.s_dyn.Dyn.d_close ();
+    (ticks, List.sort_uniq compare !topologies)
+  in
+  let stride = max 1 (total_events / max_points) in
+  let crash_points = ref 0 in
+  let double_crashes = ref 0 in
+  let background_crashes = ref 0 in
+  let torn_crashes = ref 0 in
+  let failures = ref [] in
+  let n = ref 1 in
+  while !n <= total_events do
+    let point = !n in
+    incr crash_points;
+    let env = Env.create () in
+    let plan =
+      Env.Fault_plan.create ~seed:(seed + point) ~crash_after:point ()
+    in
+    Env.set_fault_plan env plan;
+    let oracle = Hashtbl.create 64 in
+    let in_flight = ref None in
+    (try
+       let sh = Stores.open_sharded ~tweak ~env engine in
+       in_flight := run_trace_elastic sh ~schedule oracle trace
+     with Env.Injected_crash _ ->
+       (* fired during the initial open or inside a forced migration:
+          no data op was in flight *)
+       ());
+    if not (Env.Fault_plan.fired plan) then
+      failures :=
+        (point, "plan never fired: trace ended before the crash point")
+        :: !failures
+    else begin
+      if Env.Fault_plan.fired_in_background plan then incr background_crashes;
+      Env.crash env;
+      if Env.Fault_plan.torn_files plan > 0 then incr torn_crashes;
+      let reopen () = Stores.open_sharded ~tweak ~env engine in
+      match
+        if !crash_points mod 7 = 0 then begin
+          (* crash during recovery itself — which includes the shard
+             layer's own orphan-directory cleanup — then recover again *)
+          let plan2 =
+            Env.Fault_plan.create
+              ~seed:((seed * 31) + point)
+              ~crash_after:(1 + (point mod 13))
+              ()
+          in
+          Env.set_fault_plan env plan2;
+          match reopen () with
+          | sh ->
+            Env.clear_fault_plan env;
+            Ok sh
+          | exception Env.Injected_crash _ ->
+            incr double_crashes;
+            Env.crash env;
+            Env.clear_fault_plan env;
+            (try Ok (reopen ()) with e -> Error e)
+        end
+        else try Ok (reopen ()) with e -> Error e
+      with
+      | Error e ->
+        failures :=
+          (point, "recovery raised " ^ Printexc.to_string e) :: !failures
+      | Ok sh ->
+        (* all-or-nothing topology: the recovered split vector must be
+           one the schedule installed, never a partial mix *)
+        let splits = sh.Stores.s_splits () in
+        if not (List.mem splits topologies) then
+          failures :=
+            ( point,
+              "recovered topology ["
+              ^ String.concat "; " splits
+              ^ "] is not an installed one" )
+            :: !failures;
+        List.iter
+          (fun msg -> failures := (point, msg) :: !failures)
+          (verify sh.Stores.s_dyn oracle !in_flight ~keyspace);
+        sh.Stores.s_dyn.Dyn.d_close ()
+    end;
+    n := !n + stride
+  done;
+  {
+    engine = Stores.engine_name engine ^ " elastic";
+    total_events;
+    crash_points = !crash_points;
+    double_crashes = !double_crashes;
+    background_crashes = !background_crashes;
+    torn_crashes = !torn_crashes;
+    failures = List.rev !failures;
+  }
+
 (* ---------- replication failover torture ---------- *)
 
 (** [run_failover ~strategy ?replicas engine] sweeps the same seeded

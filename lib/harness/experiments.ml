@@ -1194,6 +1194,150 @@ let run_shard_at ~n () =
 let run_shard () = run_shard_at ~n:n_medium ()
 let run_shard_smoke () = run_shard_at ~n:(n_medium / 5) ()
 
+(* ---------------- elastic : resplit under a shifting hotspot ------------- *)
+
+(* The case for elasticity: a skewed workload whose hot range moves.
+   Static quartile splits concentrate a narrow hot window inside one
+   shard — every client hammers that shard's memtable and read path
+   while three shards idle — and when the window hops to a different
+   shard the penalty simply moves with it.  The elastic store starts
+   from the *same* quartile topology but is allowed to resplit: the
+   controller detects the hot shard from per-shard op counters, splits
+   it at the sampled median request key, migrates the range on the
+   compaction lanes, and merges the shards the hotspot abandoned.
+
+   The run is two hotspot phases (the window hops at the halfway
+   point).  The shifted second phase is reported in two slices: the
+   convergence slice right after the hop (where the elastic store pays
+   for detection and migration) and the steady remainder.  The
+   acceptance shape is the steady slice — resplit *recovers* >= 1.3x
+   the static store's mixed throughput — plus elastic >= static on the
+   run as a whole for every engine.
+
+   Keys come from [B.key_of] (ordered, not hashed) so the hot window is
+   a contiguous key range — spatial skew, which routing can act on; the
+   YCSB runner's hashed keys would spread any hotspot uniformly. *)
+let run_elastic_at ~n () =
+  let clients = 4 in
+  (* a compact keyspace with many overwrites: resident data stays small
+     (cheap migrations) while the op stream is long enough for two full
+     hotspot phases *)
+  let keyspace = max 1500 (n / 15) in
+  let ops = 16 * keyspace in
+  let shards0 = 4 in
+  (* one shifting-hotspot mixed op list per store: identical key/RW
+     sequence (same seeds), only the read closures differ *)
+  let mixed_ops (store : Dyn.dyn) =
+    let dist =
+      Pdb_util.Dist.shifting_hotspot ~span:0.06 ~hot:0.98 ~seed
+        ~period:(ops / 2) keyspace
+    in
+    let rng = Pdb_util.Rng.create (seed + 11) in
+    List.init ops (fun _ ->
+        let key = B.key_of (Pdb_util.Dist.next dist) in
+        if Pdb_util.Rng.int rng 2 = 0 then
+          B.Mc.Read (fun () -> ignore (store.Dyn.d_get key))
+        else B.put_op key (B.value_of rng value_1k))
+  in
+  let rec take k = function
+    | x :: tl when k > 0 -> x :: take (k - 1) tl
+    | _ -> []
+  in
+  let rec drop k = function _ :: tl when k > 0 -> drop (k - 1) tl | l -> l in
+  let run_one engine ~elastic =
+    let tweak o =
+      let o =
+        { o with O.shards = shards0;
+          shard_splits = shard_splits_for ~n:keyspace ~shards:shards0;
+          memtable_bytes = 256 * 1024 }
+      in
+      if not elastic then o
+      else
+        { o with O.elastic = true;
+          elastic_window_ops = max 300 (ops / 80);
+          elastic_split_ratio = 2.0;
+          elastic_merge_ratio = 0.1;
+          elastic_max_shards = 12 }
+    in
+    let sh = Stores.open_sharded ~tweak engine in
+    let store = sh.Stores.s_dyn in
+    let _fill, _ =
+      B.mc_fill_random store ~clients ~n:keyspace ~value_bytes:128 ~seed
+    in
+    let all = mixed_ops store in
+    let phase_a = take (ops / 2) all in
+    let conv = take (ops / 6) (drop (ops / 2) all) in
+    let steady = drop (ops / 2 + ops / 6) all in
+    let ra, _ = B.mc_run store ~clients phase_a in
+    let rc, _ = B.mc_run store ~clients conv in
+    let rs, _ = B.mc_run store ~clients steady in
+    let st = store.Dyn.d_stats () in
+    let splits = st.Pdb_kvs.Engine_stats.elastic_splits in
+    let merges = st.Pdb_kvs.Engine_stats.elastic_merges in
+    let shard_count = sh.Stores.s_shard_count () in
+    store.Dyn.d_close ();
+    let overall_kops =
+      let t = ra.B.elapsed_ns +. rc.B.elapsed_ns +. rs.B.elapsed_ns in
+      if t <= 0.0 then 0.0 else float_of_int ops /. (t /. 1e9) /. 1000.0
+    in
+    (ra, rc, rs, overall_kops, splits, merges, shard_count)
+  in
+  let results =
+    List.map
+      (fun engine ->
+        let name = Stores.engine_name engine in
+        let sa, sc, ss, s_all, _, _, _ = run_one engine ~elastic:false in
+        let ea, ec, es, e_all, splits, merges, shards =
+          run_one engine ~elastic:true
+        in
+        B.Json.metric ~store:name "steady_kops_static" ss.B.kops;
+        B.Json.metric ~store:name "steady_kops_elastic" es.B.kops;
+        B.Json.metric ~store:name "recovered_ratio" (rel ss.B.kops es.B.kops);
+        B.Json.metric ~store:name "overall_kops_static" s_all;
+        B.Json.metric ~store:name "overall_kops_elastic" e_all;
+        B.Json.metric ~store:name "elastic_splits" (float_of_int splits);
+        B.Json.metric ~store:name "elastic_merges" (float_of_int merges);
+        (name, (sa, sc, ss, s_all), (ea, ec, es, e_all), splits, merges,
+         shards))
+      Stores.paper_stores
+  in
+  B.print_table
+    ~title:
+      (Printf.sprintf
+         "Shifting hotspot (span 6%%, hop at midpoint), mixed 50/50, %d \
+          clients"
+         clients)
+    ~header:
+      [ "store"; "topology"; "phase-A"; "shift+conv"; "steady"; "overall";
+        "splits"; "merges"; "shards" ]
+    (List.concat_map
+       (fun (name, (sa, sc, ss, s_all), (ea, ec, es, e_all), splits, merges,
+             shards) ->
+         [
+           [ name; "static"; B.fmt_f ~digits:1 sa.B.kops;
+             B.fmt_f ~digits:1 sc.B.kops; B.fmt_f ~digits:1 ss.B.kops;
+             B.fmt_f ~digits:1 s_all; "0"; "0"; string_of_int shards0 ];
+           [ ""; "elastic"; B.fmt_f ~digits:1 ea.B.kops;
+             B.fmt_f ~digits:1 ec.B.kops; B.fmt_f ~digits:1 es.B.kops;
+             B.fmt_f ~digits:1 e_all; string_of_int splits;
+             string_of_int merges; string_of_int shards ];
+         ])
+       results);
+  (* the acceptance shape, stated explicitly *)
+  List.iter
+    (fun (name, (_, _, ss, s_all), (_, _, es, e_all), splits, merges, _) ->
+      pf
+        "  %s: steady shifted-phase mixed static %.1f -> elastic %.1f \
+         KOps/s (%.2fx, target >=1.3x); overall %.1f -> %.1f (%.2fx); \
+         %d splits, %d merges\n"
+        name ss.B.kops es.B.kops
+        (rel ss.B.kops es.B.kops)
+        s_all e_all (rel s_all e_all) splits merges)
+    results
+
+let run_elastic () = run_elastic_at ~n:n_medium ()
+let run_elastic_smoke () = run_elastic_at ~n:(n_medium / 5) ()
+
 (* ---------------- policy : compaction policy sweep ---------------------- *)
 
 (* The compaction design space as configuration (lib/compaction/policy.ml):
@@ -1768,6 +1912,10 @@ let all : experiment list =
       run = run_shard };
     { id = "shard-smoke"; title = "Range-partitioned shards (reduced scale)";
       run = run_shard_smoke };
+    { id = "elastic"; title = "Elastic resplit under a shifting hotspot";
+      run = run_elastic };
+    { id = "elastic-smoke"; title = "Elastic resplit (reduced scale)";
+      run = run_elastic_smoke };
     { id = "policy"; title = "Compaction policy sweep";
       run = run_policy };
     { id = "policy-smoke"; title = "Compaction policy sweep (reduced scale)";

@@ -83,6 +83,7 @@ module Pebbles_engine = struct
 
   let get_at t ~snapshot k = Pebblesdb.Pebbles_store.get ~snapshot t k
   let iterator_at t ~snapshot = Pebblesdb.Pebbles_store.iterator ~snapshot t
+  let scheduler t = Some (compaction_scheduler t)
 
   let on_job_complete t f =
     Pdb_compaction.Scheduler.set_observer (compaction_scheduler t) (fun _ ->
@@ -102,6 +103,7 @@ module Lsm_engine = struct
 
   let get_at t ~snapshot k = Pdb_lsm.Lsm_store.get ~snapshot t k
   let iterator_at t ~snapshot = Pdb_lsm.Lsm_store.iterator ~snapshot t
+  let scheduler t = Some (compaction_scheduler t)
 
   let on_job_complete t f =
     Pdb_compaction.Scheduler.set_observer (compaction_scheduler t) (fun _ ->
@@ -118,6 +120,7 @@ module Btree_engine = struct
   let release_snapshot _ _ = ()
   let get_at t ~snapshot:_ k = get t k
   let iterator_at t ~snapshot:_ = iterator t
+  let scheduler _ = None
   let on_job_complete _ _ = () (* no background scheduler *)
 end
 
@@ -129,6 +132,7 @@ module Wt_engine = struct
   let release_snapshot _ _ = ()
   let get_at t ~snapshot:_ k = get t k
   let iterator_at t ~snapshot:_ = iterator t
+  let scheduler _ = None
   let on_job_complete _ _ = () (* no background scheduler *)
 end
 
@@ -164,7 +168,7 @@ let normalize_repl engine (opts : O.t) =
     cache's true counters. *)
 type sharded = {
   s_dyn : Dyn.dyn;
-  s_shards : int;
+  s_shards : int;  (** shard count at open (splits/merges change it live) *)
   s_shard_of_key : string -> int;
   s_shard_iter : int -> Pdb_kvs.Iter.t;  (** one shard's database iterator *)
   s_snapshot : (unit -> int) option;  (** pin a cross-shard fence *)
@@ -173,6 +177,13 @@ type sharded = {
   s_iter_at : (int -> Pdb_kvs.Iter.t) option;
   s_cache_counters : unit -> (int * int) option;
       (** (hits, misses) of the one shared block cache, when sharing *)
+  (* the elastic surface: live topology control and inspection *)
+  s_split : shard:int -> key:string -> bool;
+      (** split shard [shard] at [key] (strictly inside its range) *)
+  s_merge : at:int -> bool;  (** merge shard [at + 1] into shard [at] *)
+  s_splits : unit -> string list;  (** the live split vector *)
+  s_shard_count : unit -> int;  (** the live shard count *)
+  s_topo_version : unit -> int;  (** installed-topology version *)
 }
 
 let make_sharded (type a) (module E : Shard.ENGINE with type t = a)
@@ -182,7 +193,7 @@ let make_sharded (type a) (module E : Shard.ENGINE with type t = a)
   {
     s_dyn = Dyn.dyn_of (module S) t;
     s_shards = S.shard_count t;
-    s_shard_of_key = S.shard_of_key t;
+    s_shard_of_key = (fun k -> S.shard_of_key t k);
     s_shard_iter = (fun i -> E.iterator (S.shard_stores t).(i));
     s_snapshot = (if snapshots then Some (fun () -> S.snapshot t) else None);
     s_release = S.release_snapshot t;
@@ -198,6 +209,11 @@ let make_sharded (type a) (module E : Shard.ENGINE with type t = a)
           (fun c ->
             (Pdb_sstable.Block_cache.hits c, Pdb_sstable.Block_cache.misses c))
           (S.shared_block_cache t));
+    s_split = (fun ~shard ~key -> S.split t ~shard ~key);
+    s_merge = (fun ~at -> S.merge t ~at);
+    s_splits = (fun () -> S.splits t);
+    s_shard_count = (fun () -> S.shard_count t);
+    s_topo_version = (fun () -> S.topology_version t);
   }
 
 (** [open_sharded ?tweak ?env ?shards engine] opens [engine] behind the

@@ -104,9 +104,26 @@ type t = {
   (* sharding breakdown, set by the shard store's aggregation *)
   mutable shards : int;  (** engine instances behind this stats record *)
   mutable shard_user_bytes : int array;
-      (** user payload routed to each shard *)
+      (** user payload routed to each shard (cumulative — historical
+          write distribution, not what is resident now) *)
+  mutable shard_resident_bytes : int array;
+      (** live on-disk bytes per shard (WAL + sstables + metadata),
+          set by the shard store from the environment's file sizes *)
+  mutable shard_ops : int array;
+      (** operations (reads and writes) routed to each shard,
+          cumulative — the elasticity controller's load signal *)
   mutable shard_balance : float;
-      (** max/mean of per-shard user write bytes — 1.0 is perfectly even *)
+      (** max/mean of per-shard {e resident} bytes — 1.0 is perfectly
+          even.  The aggregate falls back to cumulative user write
+          bytes when no resident breakdown is available; the shard
+          store overwrites it with the resident-based figure (cumulative
+          bytes report the historical write distribution, which a
+          migration can no longer change) *)
+  (* elastic sharding, set by the shard store *)
+  mutable elastic_splits : int;  (** live shard splits performed *)
+  mutable elastic_merges : int;  (** live shard merges performed *)
+  mutable elastic_migrated_bytes : int;
+      (** key+value payload moved between shards by migrations *)
 }
 
 let bump_breakdown t category bytes =
@@ -184,8 +201,27 @@ let create () =
     repl_backup_busy_ns = 0.0;
     shards = 1;
     shard_user_bytes = [||];
+    shard_resident_bytes = [||];
+    shard_ops = [||];
     shard_balance = 1.0;
+    elastic_splits = 0;
+    elastic_merges = 0;
+    elastic_migrated_bytes = 0;
   }
+
+(** [balance_of per_shard] is max/mean of a per-shard byte (or op)
+    breakdown — 1.0 is perfectly even, N means one shard carries
+    everything.  Empty or all-zero breakdowns report 1.0. *)
+let balance_of per_shard =
+  let n = Array.length per_shard in
+  if n = 0 then 1.0
+  else begin
+    let total = Array.fold_left ( + ) 0 per_shard in
+    if total = 0 then 1.0
+    else
+      let mean = float_of_int total /. float_of_int n in
+      float_of_int (Array.fold_left max 0 per_shard) /. mean
+  end
 
 (** [aggregate ~shared_cache per_shard] combines the stats of independent
     shard engines into one record: counters and stall times sum,
@@ -287,13 +323,7 @@ let aggregate ~shared_cache per_shard =
     per_shard;
   t.shards <- List.length per_shard;
   t.shard_user_bytes <- shard_bytes;
-  (let n = Array.length shard_bytes in
-   if n > 0 then begin
-     let total = Array.fold_left ( + ) 0 shard_bytes in
-     let mean = float_of_int total /. float_of_int n in
-     let mx = float_of_int (Array.fold_left max 0 shard_bytes) in
-     t.shard_balance <- (if total = 0 then 1.0 else mx /. mean)
-   end);
+  t.shard_balance <- balance_of shard_bytes;
   t
 
 let pp ppf t =

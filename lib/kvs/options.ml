@@ -184,6 +184,24 @@ type t = {
   shard_share_block_cache : bool;
       (** one block cache shared by every shard (memory stays at
           [block_cache_bytes] total) instead of one cache per shard *)
+  (* elastic sharding: live split/merge/migrate driven by per-shard load *)
+  elastic : bool;
+      (** let the shard store resplit itself: detect hot shards from
+          per-shard op counters, split them at a sampled median key,
+          merge cold neighbours, and migrate ranges as background jobs *)
+  elastic_window_ops : int;
+      (** routed operations per elasticity decision window; the
+          controller re-examines the balance once per window (op-count
+          based, never clock based, so decisions are identical at any
+          compaction worker count) *)
+  elastic_split_ratio : float;
+      (** split the hottest shard when its window ops exceed
+          [ratio * mean] and the shard count is below
+          [elastic_max_shards] *)
+  elastic_merge_ratio : float;
+      (** merge the coldest adjacent pair when their combined window
+          ops fall below [ratio * mean] *)
+  elastic_max_shards : int;  (** upper bound on the live shard count *)
   (* primary–backup replication (lib/repl, over any engine or shard) *)
   replicas : int;  (** backups per primary; [0] disables replication *)
   repl_strategy : repl_strategy;
@@ -243,6 +261,11 @@ let base =
     shards = 1;
     shard_splits = [];
     shard_share_block_cache = true;
+    elastic = false;
+    elastic_window_ops = 2048;
+    elastic_split_ratio = 1.6;
+    elastic_merge_ratio = 0.6;
+    elastic_max_shards = 16;
     replicas = 0;
     repl_strategy = Log_shipping;
     cpu_per_op_ns = 1_000.0;

@@ -7,9 +7,24 @@
 
 type op = Put of string * string | Delete of string
 
-type t = { mutable ops : op list; mutable count : int; mutable payload : int }
+type t = {
+  mutable ops : op list;
+  mutable count : int;
+  mutable payload : int;
+  mutable bulk : bool;
+}
 
-let create () = { ops = []; count = 0; payload = 0 }
+let create () = { ops = []; count = 0; payload = 0; bulk = false }
+
+(** [mark_bulk t] tags the batch as an internal bulk move (e.g. a shard
+    migration copy): engines charge the per-request software overhead
+    once for the whole batch instead of once per entry — the entries
+    already paid it when the user first wrote them.  The tag is
+    process-local; it does not survive WAL encoding (replay is its own
+    request). *)
+let mark_bulk t = t.bulk <- true
+
+let is_bulk t = t.bulk
 
 let put t k v =
   t.ops <- Put (k, v) :: t.ops;

@@ -16,6 +16,16 @@ val count : t -> int
     write amplification. *)
 val payload_bytes : t -> int
 
+(** [mark_bulk t] tags the batch as an internal bulk move (e.g. a shard
+    migration copy): engines charge the per-request software overhead
+    once for the whole batch instead of once per entry — the entries
+    already paid it when the user first wrote them.  The tag is
+    process-local; it does not survive WAL encoding (replay is its own
+    request). *)
+val mark_bulk : t -> unit
+
+val is_bulk : t -> bool
+
 (** Operations in insertion order. *)
 val ops : t -> op list
 

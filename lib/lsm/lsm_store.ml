@@ -875,7 +875,11 @@ let write_group t batches =
       before_batch =
         (fun batch ->
           let count = Pdb_kvs.Write_batch.count batch in
-          charge_cpu t (t.opts.O.op_overhead_write_ns *. float_of_int count);
+          let requests =
+            if Pdb_kvs.Write_batch.is_bulk batch then 1 else count
+          in
+          charge_cpu t
+            (t.opts.O.op_overhead_write_ns *. float_of_int requests);
           charge_cpu t (t.opts.O.cpu_per_op_ns *. float_of_int count));
       log_append = (fun records -> Wal.Writer.add_records t.wal records);
       log_sync = (fun () -> Wal.Writer.sync t.wal);

@@ -444,6 +444,7 @@ module Make (E : ENGINE) = struct
 
   let get t k = E.get t.primary k
   let iterator t = E.iterator t.primary
+  let scheduler t = E.scheduler t.primary
   let snapshot t = E.snapshot t.primary
   let release_snapshot t s = E.release_snapshot t.primary s
   let get_at t ~snapshot k = E.get_at t.primary ~snapshot k

@@ -1,0 +1,74 @@
+(** The durable shard topology: which directories hold the live shards
+    and where the split keys sit.
+
+    Elastic resplitting changes the router at run time, so recovery can
+    no longer derive the topology from [Options]: a [TOPOLOGY] file under
+    the store's root records the split vector and the directory id of
+    every live shard.  Installation follows the MANIFEST/CURRENT idiom —
+    write a temporary, sync it, then {!Pdb_simio.Env.rename} into place —
+    so a topology change is atomic and durable: a crash anywhere inside a
+    migration leaves either the old file or the new file, never a mix
+    (the crash-consistency argument in DESIGN.md "Elastic sharding").
+
+    Directory ids are never reused ([next_dir] only grows), so a shard
+    directory created by a crashed migration can never be mistaken for a
+    live shard: recovery deletes every [shards/<id>/] subtree whose id
+    the topology does not name. *)
+
+type t = {
+  version : int;  (** monotonically increasing install counter *)
+  next_dir : int;  (** next unused shard-directory id *)
+  dirs : int array;  (** directory id of shard [i], in key order *)
+  splits : string list;  (** [Array.length dirs - 1] sorted split keys *)
+}
+
+let file ~dir = dir ^ "/TOPOLOGY"
+
+let encode t =
+  let buf = Buffer.create 64 in
+  Pdb_util.Varint.put_uvarint buf t.version;
+  Pdb_util.Varint.put_uvarint buf t.next_dir;
+  Pdb_util.Varint.put_uvarint buf (Array.length t.dirs);
+  Array.iter (Pdb_util.Varint.put_uvarint buf) t.dirs;
+  List.iter (Pdb_util.Varint.put_length_prefixed buf) t.splits;
+  Buffer.contents buf
+
+let decode s =
+  let version, p = Pdb_util.Varint.get_uvarint s 0 in
+  let next_dir, p = Pdb_util.Varint.get_uvarint s p in
+  let n, p = Pdb_util.Varint.get_uvarint s p in
+  let pos = ref p in
+  let dirs =
+    Array.init n (fun _ ->
+        let v, p = Pdb_util.Varint.get_uvarint s !pos in
+        pos := p;
+        v)
+  in
+  let splits =
+    List.init (max 0 (n - 1)) (fun _ ->
+        let k, p = Pdb_util.Varint.get_length_prefixed s !pos in
+        pos := p;
+        k)
+  in
+  { version; next_dir; dirs; splits }
+
+(** [load env ~dir] reads the installed topology, or [None] when the
+    store has never resplit (static stores write no TOPOLOGY file). *)
+let load env ~dir =
+  let name = file ~dir in
+  if not (Pdb_simio.Env.exists env name) then None
+  else
+    match Pdb_wal.Wal.Reader.read_all env name with
+    | [ record ], _report -> Some (decode record)
+    | _ -> failwith "Shard_topology: corrupt TOPOLOGY file"
+
+(** [install env ~dir t] durably replaces the topology: the record is
+    written (checksummed, WAL framing) to [TOPOLOGY.tmp], synced, and
+    renamed over [TOPOLOGY] — all-or-nothing under any crash. *)
+let install env ~dir t =
+  let name = file ~dir in
+  let tmp = name ^ ".tmp" in
+  let log = Pdb_wal.Wal.Writer.create env tmp in
+  Pdb_wal.Wal.Writer.add_record log (encode t);
+  Pdb_wal.Wal.Writer.sync log;
+  Pdb_simio.Env.rename env ~src:tmp ~dst:name

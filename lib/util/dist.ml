@@ -9,6 +9,17 @@ type t =
   | Zipfian of zipf
   | Scrambled of zipf
   | Latest of zipf
+  | Shifting of hotspot
+  | Diurnal of hotspot
+
+and hotspot = {
+  hrng : Rng.t;
+  mutable hn : int;  (** key-space size *)
+  period : int;  (** draws per hotspot phase (shifting) or cycle (diurnal) *)
+  span : float;  (** hot window width, as a fraction of the key space *)
+  hot : float;  (** probability a draw lands inside the hot window *)
+  mutable drawn : int;
+}
 
 and zipf = {
   zrng : Rng.t;
@@ -101,6 +112,51 @@ let scrambled_zipfian ?(theta = default_theta) ~seed n =
 let latest ?(theta = default_theta) ~seed n =
   Latest (make_zipf (Rng.create seed) n theta)
 
+(** [shifting_hotspot ~seed ~period ?span ?hot n] concentrates [hot] of
+    the draws on a contiguous window of [span * n] keys whose position
+    {e jumps} every [period] draws (golden-ratio hopping, so successive
+    hotspots land far apart) — the drifting skew that makes a static
+    shard split go stale. *)
+let shifting_hotspot ?(span = 0.10) ?(hot = 0.9) ~seed ~period n =
+  Shifting
+    { hrng = Rng.create seed; hn = n; period = max 1 period; span; hot;
+      drawn = 0 }
+
+(** [diurnal ~seed ~period ?span ?hot n] moves the hot window smoothly —
+    sinusoidally across the key space with a cycle of [period] draws —
+    the day/night drift of a geographically keyed workload. *)
+let diurnal ?(span = 0.10) ?(hot = 0.9) ~seed ~period n =
+  Diurnal
+    { hrng = Rng.create seed; hn = n; period = max 1 period; span; hot;
+      drawn = 0 }
+
+(* Hot-window start for the current draw count: shifting hops by the
+   golden ratio per phase; diurnal tracks a sine over the cycle. *)
+let hotspot_start shifting h =
+  let width = h.span in
+  let centre_frac =
+    if shifting then
+      let phase = h.drawn / h.period in
+      Float.rem (0.5 +. (float_of_int phase *. 0.618033988749895)) 1.0
+    else
+      let x = float_of_int (h.drawn mod h.period) /. float_of_int h.period in
+      0.5 +. (0.5 -. (width /. 2.0)) *. sin (2.0 *. Float.pi *. x)
+  in
+  let start_frac =
+    Float.max 0.0 (Float.min (1.0 -. width) (centre_frac -. (width /. 2.0)))
+  in
+  int_of_float (start_frac *. float_of_int h.hn)
+
+let next_hotspot shifting h =
+  let width = max 1 (int_of_float (h.span *. float_of_int h.hn)) in
+  let v =
+    if Rng.float h.hrng < h.hot then
+      hotspot_start shifting h + Rng.int h.hrng width
+    else Rng.int h.hrng h.hn
+  in
+  h.drawn <- h.drawn + 1;
+  min (h.hn - 1) v
+
 (** [next t] draws the next key index. *)
 let next t =
   match t with
@@ -112,9 +168,12 @@ let next t =
   | Latest z ->
     let v = next_zipf z in
     z.items - 1 - v
+  | Shifting h -> next_hotspot true h
+  | Diurnal h -> next_hotspot false h
 
 (** [set_item_count t n] grows the key space (after inserts). *)
 let set_item_count t n =
   match t with
   | Uniform u -> u.n <- max u.n n
   | Zipfian z | Scrambled z | Latest z -> grow_zipf z n
+  | Shifting h | Diurnal h -> h.hn <- max h.hn n

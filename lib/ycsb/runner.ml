@@ -154,6 +154,14 @@ let run ?clients ?latency (store : Dyn.dyn) (spec : Workload.spec) ~records
     | Workload.Zipfian -> Pdb_util.Dist.scrambled_zipfian ~seed records
     | Workload.Latest -> Pdb_util.Dist.latest ~seed records
     | Workload.Uniform -> Pdb_util.Dist.uniform ~seed records
+    | Workload.Shifting_hotspot ->
+      (* a handful of hotspot phases per run, so the skew drifts while
+         any one phase still lasts long enough to matter *)
+      Pdb_util.Dist.shifting_hotspot ~seed
+        ~period:(max 1 (operations / 5))
+        records
+    | Workload.Diurnal ->
+      Pdb_util.Dist.diurnal ~seed ~period:(max 1 operations) records
   in
   let record_count = ref records in
   let reads = ref 0

@@ -90,6 +90,12 @@ let record_ycsb env name (spec : Workload.spec) ~records ~operations
     | Workload.Zipfian -> Pdb_util.Dist.scrambled_zipfian ~seed records
     | Workload.Latest -> Pdb_util.Dist.latest ~seed records
     | Workload.Uniform -> Pdb_util.Dist.uniform ~seed records
+    | Workload.Shifting_hotspot ->
+      Pdb_util.Dist.shifting_hotspot ~seed
+        ~period:(max 1 (operations / 5))
+        records
+    | Workload.Diurnal ->
+      Pdb_util.Dist.diurnal ~seed ~period:(max 1 operations) records
   in
   let count = ref records in
   for _ = 1 to operations do

@@ -6,7 +6,13 @@
 
 type op_kind = Read | Update | Insert | Scan | Read_modify_write
 
-type request_dist = Zipfian | Latest | Uniform
+type request_dist =
+  | Zipfian
+  | Latest
+  | Uniform
+  | Shifting_hotspot
+      (** contiguous hot key window that jumps every few thousand ops *)
+  | Diurnal  (** hot window drifting sinusoidally across the key space *)
 
 type spec = {
   name : string;
@@ -109,8 +115,27 @@ let workload_e_scan_only =
     scan_prop = 1.0;
   }
 
+(** Skew-drift variants (not part of the YCSB core set): workload A's
+    50/50 read/update mix under a moving hotspot — the traffic shape
+    elastic resplitting exists for. *)
+let workload_shift =
+  {
+    workload_a with
+    name = "shift";
+    description = "50% reads, 50% updates, jumping hot key window";
+    dist = Shifting_hotspot;
+  }
+
+let workload_diurnal =
+  {
+    workload_a with
+    name = "diurnal";
+    description = "50% reads, 50% updates, sinusoidally drifting hot window";
+    dist = Diurnal;
+  }
+
 let all = [ workload_a; workload_b; workload_c; workload_d; workload_e;
-            workload_f ]
+            workload_f; workload_shift; workload_diurnal ]
 
 let by_name name =
   List.find_opt

@@ -53,6 +53,31 @@ let check_sharded engine () =
   Alcotest.(check bool) "some points double-crashed during recovery" true
     (r.Torture.double_crashes > 0)
 
+(* Migration torture: the sweep's trace live-splits, merges and migrates
+   shards at scheduled op indices, so crash points land inside every
+   phase of a migration — fence, copy jobs, the durable topology
+   install, the post-install clean — and inside recovery itself.  Data
+   must recover to the oracle and the topology must land wholly old or
+   wholly new. *)
+let check_elastic engine () =
+  let r = Torture.run_elastic ~seed engine in
+  (match r.Torture.failures with
+   | [] -> ()
+   | fs ->
+     List.iter
+       (fun (point, msg) ->
+         Printf.printf "[%s crash@%d] %s\n" r.Torture.engine point msg)
+       fs);
+  Alcotest.(check (list (pair int string)))
+    "oracle-consistent elastic recovery at every crash point" []
+    r.Torture.failures;
+  Alcotest.(check bool)
+    (Printf.sprintf "sweeps >= 50 crash points (got %d)" r.Torture.crash_points)
+    true
+    (r.Torture.crash_points >= 50);
+  Alcotest.(check bool) "some points double-crashed during recovery" true
+    (r.Torture.double_crashes > 0)
+
 (* The same sweep under a non-default compaction policy: tiered levels'
    stacked runs and whole-level merges (and the lazy-leveled hybrid) must
    recover through the same MANIFEST/WAL machinery. *)
@@ -140,6 +165,13 @@ let () =
             (check_sharded Stores.Leveldb);
           Alcotest.test_case "pebblesdb x4 shards" `Slow
             (check_sharded Stores.Pebblesdb);
+        ] );
+      ( "migration sweep",
+        [
+          Alcotest.test_case "leveldb elastic" `Slow
+            (check_elastic Stores.Leveldb);
+          Alcotest.test_case "pebblesdb elastic" `Slow
+            (check_elastic Stores.Pebblesdb);
         ] );
       ( "policy sweep",
         [

@@ -75,6 +75,9 @@ type subject = {
   snapshot : (unit -> int) option;
   get_at : (int -> string -> string option) option;
   release : int -> unit;
+  on_op : (int -> unit) option;
+      (** resplit-differential hook: called with each op's index, forcing
+          scheduled topology changes mid-replay *)
 }
 
 let small o = { o with O.memtable_bytes = 4 * 1024 }
@@ -97,6 +100,7 @@ let plain_subject engine =
     snapshot = None;
     get_at = None;
     release = ignore;
+    on_op = None;
   }
 
 let sharded_subject engine shards =
@@ -111,7 +115,73 @@ let sharded_subject engine shards =
     snapshot = sh.Stores.s_snapshot;
     get_at = sh.Stores.s_get_at;
     release = sh.Stores.s_release;
+    on_op = None;
   }
+
+(* ---------- resplit-differential subjects ---------- *)
+
+(* A topology schedule: forced split/merge/migrations at fixed op
+   indices.  [Split ki] splits whichever shard currently owns [key ki]
+   at that key; [Merge at] folds shard [at+1] into [at] (clamped to the
+   live count).  Every action migrates data, so the elastic subject's
+   reads run over freshly moved ranges while snapshots stay pinned. *)
+type topo_action = Split of int | Merge of int
+
+let elastic_tweak o =
+  let o = small o in
+  {
+    o with
+    O.shards = 2;
+    shard_splits = [ key (keyspace / 2) ];
+    elastic = true;
+    elastic_window_ops = max_int (* controller parked: forced moves only *);
+  }
+
+let elastic_subject engine ~schedule_name schedule =
+  let sh =
+    Stores.open_sharded ~tweak:elastic_tweak ~env:(Env.create ()) engine
+  in
+  let act = function
+    | Split ki ->
+      let k = key ki in
+      ignore (sh.Stores.s_split ~shard:(sh.Stores.s_shard_of_key k) ~key:k)
+    | Merge at ->
+      let n = sh.Stores.s_shard_count () in
+      if n > 1 then ignore (sh.Stores.s_merge ~at:(min at (n - 2)))
+  in
+  {
+    name =
+      Printf.sprintf "%s/elastic:%s" (Stores.engine_name engine)
+        schedule_name;
+    dyn = sh.Stores.s_dyn;
+    snapshot = sh.Stores.s_snapshot;
+    get_at = sh.Stores.s_get_at;
+    release = sh.Stores.s_release;
+    on_op =
+      Some
+        (fun i ->
+          match List.assoc_opt i schedule with
+          | Some a -> act a
+          | None -> ());
+  }
+
+let q n = n * keyspace / 8
+
+(* three shapes: carve ever finer; carve then collapse; oscillate over
+   the same ranges (the "resplit" that moves a range more than once) *)
+let schedules =
+  [
+    ( "split-heavy",
+      [ (30, Split (q 2)); (70, Split (q 6)); (110, Split (q 1));
+        (150, Split (q 5)); (200, Split (q 7)) ] );
+    ( "merge-heavy",
+      [ (20, Split (q 2)); (40, Split (q 6)); (90, Merge 0);
+        (140, Merge 1); (190, Merge 0); (220, Merge 0) ] );
+    ( "mixed",
+      [ (25, Split (q 3)); (60, Merge 1); (95, Split (q 3));
+        (130, Split (q 5)); (165, Merge 2); (205, Split (q 6));
+        (230, Merge 0) ] );
+  ]
 
 let scan (store : Dyn.dyn) =
   let it = store.Dyn.d_iterator () in
@@ -159,8 +229,9 @@ let replay ~seed subject ops =
       Option.iter (fun _ -> subject.release id) subject.snapshot;
       slots.(slot) <- None
   in
-  List.iter
-    (fun op ->
+  List.iteri
+    (fun i op ->
+      Option.iter (fun f -> f i) subject.on_op;
       match op with
       | Put (k, v) ->
         subject.dyn.Dyn.d_put k v;
@@ -208,7 +279,9 @@ let replay ~seed subject ops =
     ops;
   drop 0;
   drop 1;
-  subject.dyn.Dyn.d_close ()
+  let dump = scan subject.dyn in
+  subject.dyn.Dyn.d_close ();
+  dump
 
 let engines =
   [
@@ -223,9 +296,35 @@ let engines =
 let test_engine engine () =
   for seed = 0 to n_seeds - 1 do
     let ops = gen_ops seed in
-    replay ~seed (plain_subject engine) ops;
-    replay ~seed (sharded_subject engine 1) ops;
-    replay ~seed (sharded_subject engine 4) ops
+    ignore (replay ~seed (plain_subject engine) ops);
+    ignore (replay ~seed (sharded_subject engine 1) ops);
+    ignore (replay ~seed (sharded_subject engine 4) ops)
+  done
+
+(* Resplit-differential: the same seeded sequences replayed while a
+   schedule forces split/merge/migrations at fixed op indices.  Every
+   checkpoint (point lookups, scans, pinned-snapshot reads) must match
+   the oracle exactly across the moves, and the final dump must equal a
+   static-shard replay of the identical sequence — migrations must be
+   invisible to the data. *)
+let n_resplit_seeds = 12
+
+let test_resplit engine ~seeds () =
+  for seed = 0 to seeds - 1 do
+    let ops = gen_ops seed in
+    let base = replay ~seed (sharded_subject engine 4) ops in
+    List.iter
+      (fun (schedule_name, schedule) ->
+        let dump =
+          replay ~seed (elastic_subject engine ~schedule_name schedule) ops
+        in
+        if dump <> base then
+          Alcotest.failf
+            "seed %d, %s/%s: final dump diverged from the static-shard \
+             replay (%d vs %d entries)"
+            seed (Stores.engine_name engine) schedule_name (List.length dump)
+            (List.length base))
+      schedules
   done
 
 (* Each compaction policy replayed against the oracle on the engine that
@@ -244,13 +343,14 @@ let policy_subject policy =
     snapshot = None;
     get_at = None;
     release = ignore;
+    on_op = None;
   }
 
 let n_policy_seeds = 8
 
 let test_policy policy () =
   for seed = 0 to n_policy_seeds - 1 do
-    replay ~seed (policy_subject policy) (gen_ops seed)
+    ignore (replay ~seed (policy_subject policy) (gen_ops seed))
   done
 
 (* The sharded snapshot machinery is the part most at risk of skew (a
@@ -295,6 +395,19 @@ let () =
                  (Stores.engine_name engine) n_seeds)
               `Slow (test_engine engine))
           engines );
+      ( "resplit",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "pebblesdb x %d seeds x %d schedules"
+               n_resplit_seeds (List.length schedules))
+            `Slow
+            (test_resplit Stores.Pebblesdb ~seeds:n_resplit_seeds);
+          Alcotest.test_case "leveldb x 4 seeds x 3 schedules" `Slow
+            (test_resplit Stores.Leveldb ~seeds:4);
+          Alcotest.test_case
+            "kyotocabinet-sim x 4 seeds x 3 schedules (inline copy)" `Slow
+            (test_resplit Stores.Btree ~seeds:4);
+        ] );
       ( "compaction policies",
         List.map
           (fun policy ->

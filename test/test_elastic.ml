@@ -1,0 +1,510 @@
+(* Elastic sharding: live split/merge/migrate (lib/shard).
+
+   Manual topology surgery checked against full-state reads; the durable
+   TOPOLOGY lineage across close/reopen; the stale-balance regression
+   (balance must be computed from live resident bytes, which a migration
+   changes — not from cumulative routed bytes, which it cannot); the
+   elasticity controller splitting a hot shard on its own; determinism
+   of elastic runs across compaction worker counts; and the migration's
+   observability contract: [migrate:*] spans on the destination
+   scheduler's worker lanes, charged like any compaction. *)
+
+module Dyn = Pdb_kvs.Store_intf
+module Env = Pdb_simio.Env
+module Stores = Pdb_harness.Stores
+module B = Pdb_harness.Bench_util
+module O = Pdb_kvs.Options
+module Stats = Pdb_kvs.Engine_stats
+module Iter = Pdb_kvs.Iter
+module Trace = Pdb_simio.Trace
+
+let keyspace = 400
+let key = B.key_of
+
+(* elastic options with the controller parked: splits/merges only happen
+   when the test forces them *)
+let manual_elastic ?(shards = 2) o =
+  {
+    o with
+    O.wal_sync_writes = true;
+    memtable_bytes = 8 * 1024;
+    shards;
+    shard_splits =
+      List.init (shards - 1) (fun i -> key ((i + 1) * keyspace / shards));
+    elastic = true;
+    elastic_window_ops = max_int;
+  }
+
+let scan (store : Dyn.dyn) =
+  let it = store.Dyn.d_iterator () in
+  it.Iter.seek_to_first ();
+  let acc = ref [] in
+  while it.Iter.valid () do
+    acc := (it.Iter.key (), it.Iter.value ()) :: !acc;
+    it.Iter.next ()
+  done;
+  List.rev !acc
+
+let oracle_entries oracle =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) oracle []
+  |> List.sort compare
+
+let check_matches ctx (sh : Stores.sharded) oracle =
+  for i = 0 to keyspace - 1 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "%s: get %s" ctx (key i))
+      (Hashtbl.find_opt oracle (key i))
+      (sh.Stores.s_dyn.Dyn.d_get (key i))
+  done;
+  Alcotest.(check bool)
+    (ctx ^ ": scan equals oracle")
+    true
+    (scan sh.Stores.s_dyn = oracle_entries oracle);
+  sh.Stores.s_dyn.Dyn.d_check_invariants ()
+
+let fill sh oracle ~seed ~n =
+  let rng = Pdb_util.Rng.create seed in
+  for i = 0 to n - 1 do
+    let k = key (Pdb_util.Rng.int rng keyspace) in
+    if Pdb_util.Rng.int rng 6 = 0 then begin
+      sh.Stores.s_dyn.Dyn.d_delete k;
+      Hashtbl.remove oracle k
+    end
+    else begin
+      let v = Printf.sprintf "v%06d-%s" i k in
+      sh.Stores.s_dyn.Dyn.d_put k v;
+      Hashtbl.replace oracle k v
+    end
+  done
+
+(* ---------- manual split / merge correctness ---------- *)
+
+let test_split_merge engine () =
+  let sh =
+    Stores.open_sharded ~tweak:(manual_elastic ~shards:2)
+      ~env:(Env.create ()) engine
+  in
+  let oracle = Hashtbl.create 256 in
+  fill sh oracle ~seed:11 ~n:1_500;
+  Alcotest.(check int) "starts at 2 shards" 2 (sh.Stores.s_shard_count ());
+  (* split shard 0 at a key strictly inside its range *)
+  Alcotest.(check bool) "split accepted" true
+    (sh.Stores.s_split ~shard:0 ~key:(key (keyspace / 4)));
+  Alcotest.(check int) "3 shards after split" 3 (sh.Stores.s_shard_count ());
+  Alcotest.(check (list string))
+    "split vector gained the new key"
+    [ key (keyspace / 4); key (keyspace / 2) ]
+    (sh.Stores.s_splits ());
+  check_matches "after split" sh oracle;
+  (* rejected splits: outside the range, on the boundary, bad index *)
+  Alcotest.(check bool) "split at own lower bound rejected" false
+    (sh.Stores.s_split ~shard:1 ~key:(key (keyspace / 4)));
+  Alcotest.(check bool) "split outside the range rejected" false
+    (sh.Stores.s_split ~shard:0 ~key:(key (keyspace / 2)));
+  Alcotest.(check bool) "split of a bogus shard rejected" false
+    (sh.Stores.s_split ~shard:9 ~key:(key 1));
+  Alcotest.(check int) "rejections change nothing" 3
+    (sh.Stores.s_shard_count ());
+  (* more churn on the post-split topology, then merge the pair back *)
+  fill sh oracle ~seed:12 ~n:800;
+  Alcotest.(check bool) "merge accepted" true (sh.Stores.s_merge ~at:0);
+  Alcotest.(check int) "2 shards after merge" 2 (sh.Stores.s_shard_count ());
+  Alcotest.(check (list string))
+    "merge dropped the split key"
+    [ key (keyspace / 2) ]
+    (sh.Stores.s_splits ());
+  check_matches "after merge" sh oracle;
+  Alcotest.(check bool) "merge of last shard rejected" false
+    (sh.Stores.s_merge ~at:1);
+  fill sh oracle ~seed:13 ~n:400;
+  check_matches "after post-merge churn" sh oracle;
+  Alcotest.(check int) "topology version advanced per migration" 2
+    (sh.Stores.s_topo_version ());
+  sh.Stores.s_dyn.Dyn.d_close ()
+
+(* A key deleted in the donor must stay dead when its range migrates
+   into a survivor holding a stale (clipped-out) copy: the merge purges
+   the survivor's stale keys below the incoming copies. *)
+let test_merge_no_resurrection () =
+  let sh =
+    Stores.open_sharded ~tweak:(manual_elastic ~shards:2)
+      ~env:(Env.create ()) Stores.Pebblesdb
+  in
+  let oracle = Hashtbl.create 64 in
+  fill sh oracle ~seed:21 ~n:600;
+  let probe = key (3 * keyspace / 4) in
+  sh.Stores.s_dyn.Dyn.d_put probe "stale";
+  Hashtbl.replace oracle probe "stale";
+  (* move [3/4, end) into a new shard 2; shard 1 keeps a stale copy of
+     [probe] on disk, clipped out of its routed range *)
+  Alcotest.(check bool) "split accepted" true
+    (sh.Stores.s_split ~shard:1 ~key:probe);
+  sh.Stores.s_dyn.Dyn.d_delete probe;
+  Hashtbl.remove oracle probe;
+  (* merging shard 2 back must not resurrect the survivor's stale copy *)
+  Alcotest.(check bool) "merge accepted" true (sh.Stores.s_merge ~at:1);
+  Alcotest.(check (option string))
+    "deleted key stays dead across the merge" None
+    (sh.Stores.s_dyn.Dyn.d_get probe);
+  check_matches "after merge-back" sh oracle;
+  sh.Stores.s_dyn.Dyn.d_close ()
+
+(* ---------- snapshots across a resplit ---------- *)
+
+let test_snapshot_across_resplit () =
+  let sh =
+    Stores.open_sharded ~tweak:(manual_elastic ~shards:2)
+      ~env:(Env.create ()) Stores.Pebblesdb
+  in
+  let oracle = Hashtbl.create 256 in
+  fill sh oracle ~seed:31 ~n:1_000;
+  let pinned = Hashtbl.copy oracle in
+  let snap = (Option.get sh.Stores.s_snapshot) () in
+  let get_at = Option.get sh.Stores.s_get_at in
+  (* resplit under the pin: split, churn, merge the old pair *)
+  Alcotest.(check bool) "split under pin" true
+    (sh.Stores.s_split ~shard:0 ~key:(key (keyspace / 4)));
+  fill sh oracle ~seed:32 ~n:800;
+  Alcotest.(check bool) "merge under pin" true (sh.Stores.s_merge ~at:0);
+  fill sh oracle ~seed:33 ~n:400;
+  (* the pinned view reads the pre-migration world *)
+  for i = 0 to keyspace - 1 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "pinned view of %s survives the resplit" (key i))
+      (Hashtbl.find_opt pinned (key i))
+      (get_at snap (key i))
+  done;
+  let snap_scan =
+    let it = (Option.get sh.Stores.s_iter_at) snap in
+    it.Iter.seek_to_first ();
+    let acc = ref [] in
+    while it.Iter.valid () do
+      acc := (it.Iter.key (), it.Iter.value ()) :: !acc;
+      it.Iter.next ()
+    done;
+    List.rev !acc
+  in
+  Alcotest.(check bool) "pinned scan equals pinned oracle" true
+    (snap_scan = oracle_entries pinned);
+  sh.Stores.s_release snap;
+  check_matches "live state after release" sh oracle;
+  sh.Stores.s_dyn.Dyn.d_close ()
+
+(* ---------- durable topology across reopen ---------- *)
+
+let test_topology_reopen () =
+  let env = Env.create () in
+  let oracle = Hashtbl.create 256 in
+  let sh =
+    Stores.open_sharded ~tweak:(manual_elastic ~shards:2) ~env
+      Stores.Pebblesdb
+  in
+  fill sh oracle ~seed:41 ~n:1_200;
+  Alcotest.(check bool) "split accepted" true
+    (sh.Stores.s_split ~shard:0 ~key:(key 77));
+  Alcotest.(check bool) "second split accepted" true
+    (sh.Stores.s_split ~shard:2 ~key:(key 300));
+  let splits = sh.Stores.s_splits () in
+  let version = sh.Stores.s_topo_version () in
+  fill sh oracle ~seed:42 ~n:300;
+  sh.Stores.s_dyn.Dyn.d_close ();
+  (* reopen over the same file system: the installed topology — not the
+     2-shard Options profile — is authoritative *)
+  let sh2 =
+    Stores.open_sharded ~tweak:(manual_elastic ~shards:2) ~env
+      Stores.Pebblesdb
+  in
+  Alcotest.(check (list string))
+    "reopen restores the installed split vector" splits
+    (sh2.Stores.s_splits ());
+  Alcotest.(check int) "reopen restores the topology version" version
+    (sh2.Stores.s_topo_version ());
+  Alcotest.(check int) "reopen restores the shard count" 4
+    (sh2.Stores.s_shard_count ());
+  check_matches "reopened state" sh2 oracle;
+  sh2.Stores.s_dyn.Dyn.d_close ()
+
+(* ---------- the stale-balance regression ---------- *)
+
+(* Cumulative routed bytes report the historical write distribution; a
+   migration cannot change them.  shard_balance must instead reflect
+   what is resident right now: after migrating the hot half of a hot
+   shard away (split), the reported balance improves even though the
+   cumulative per-shard user bytes stay maximally skewed. *)
+(* leveldb: its full compaction reclaims completely, so resident bytes
+   track the migration tightly (the FLSM engine retains per-guard
+   generations, which blurs the signal at this toy scale) *)
+let test_balance_tracks_migration () =
+  let sh =
+    Stores.open_sharded ~tweak:(manual_elastic ~shards:2)
+      ~env:(Env.create ()) Stores.Leveldb
+  in
+  (* every write lands in shard 0's range [0, keyspace/2) *)
+  let rng = Pdb_util.Rng.create 51 in
+  for i = 0 to 2_999 do
+    let k = key (Pdb_util.Rng.int rng (keyspace / 2)) in
+    sh.Stores.s_dyn.Dyn.d_put k (Printf.sprintf "w%06d" i)
+  done;
+  sh.Stores.s_dyn.Dyn.d_flush ();
+  let before = sh.Stores.s_dyn.Dyn.d_stats () in
+  Alcotest.(check bool)
+    (Printf.sprintf "one-sided load reads as imbalance (%.2f)"
+       before.Stats.shard_balance)
+    true
+    (before.Stats.shard_balance > 1.5);
+  (* split the hot shard at its midpoint: half its bytes migrate *)
+  Alcotest.(check bool) "split accepted" true
+    (sh.Stores.s_split ~shard:0 ~key:(key (keyspace / 4)));
+  let after = sh.Stores.s_dyn.Dyn.d_stats () in
+  (* the regression: cumulative user bytes still say "all of it went to
+     the old hot shard" — only the resident basis can improve *)
+  Alcotest.(check bool)
+    (Printf.sprintf "cumulative user-bytes skew is unchanged (%.2f)"
+       (Stats.balance_of after.Stats.shard_user_bytes))
+    true
+    (Stats.balance_of after.Stats.shard_user_bytes
+     > after.Stats.shard_balance);
+  Alcotest.(check bool)
+    (Printf.sprintf "resident balance improves after the migration \
+                     (%.2f -> %.2f)"
+       before.Stats.shard_balance after.Stats.shard_balance)
+    true
+    (after.Stats.shard_balance < before.Stats.shard_balance -. 0.05);
+  Alcotest.(check int) "resident breakdown matches the live shard count" 3
+    (Array.length after.Stats.shard_resident_bytes);
+  Alcotest.(check int) "migration counted" 1 after.Stats.elastic_splits;
+  Alcotest.(check bool) "migrated bytes counted" true
+    (after.Stats.elastic_migrated_bytes > 0);
+  sh.Stores.s_dyn.Dyn.d_close ()
+
+(* ---------- the controller ---------- *)
+
+let auto_elastic o =
+  {
+    (manual_elastic ~shards:2 o) with
+    O.elastic_window_ops = 512;
+    elastic_split_ratio = 1.6;
+    elastic_merge_ratio = 0.4;
+    elastic_max_shards = 8;
+  }
+
+(* hammer one narrow range: the controller must split the hot shard at a
+   sampled request key, and the split must land inside the hot range *)
+let test_controller_splits_hot_shard () =
+  let sh =
+    Stores.open_sharded ~tweak:auto_elastic ~env:(Env.create ())
+      Stores.Pebblesdb
+  in
+  let oracle = Hashtbl.create 256 in
+  let rng = Pdb_util.Rng.create 61 in
+  for i = 0 to 3_999 do
+    (* 90% of the load on [0, keyspace/8) — all inside shard 0 *)
+    let k =
+      if Pdb_util.Rng.int rng 10 < 9 then
+        key (Pdb_util.Rng.int rng (keyspace / 8))
+      else key (Pdb_util.Rng.int rng keyspace)
+    in
+    let v = Printf.sprintf "h%06d" i in
+    sh.Stores.s_dyn.Dyn.d_put k v;
+    Hashtbl.replace oracle k v
+  done;
+  let st = sh.Stores.s_dyn.Dyn.d_stats () in
+  Alcotest.(check bool)
+    (Printf.sprintf "controller split the hot shard (%d splits)"
+       st.Stats.elastic_splits)
+    true
+    (st.Stats.elastic_splits >= 1);
+  Alcotest.(check bool) "shard count grew" true
+    (sh.Stores.s_shard_count () > 2);
+  (* at least one new split key lies inside the hot range *)
+  Alcotest.(check bool) "a split landed inside the hot range" true
+    (List.exists
+       (fun s -> String.compare s (key (keyspace / 8)) < 0)
+       (sh.Stores.s_splits ()));
+  check_matches "post-controller state" sh oracle;
+  sh.Stores.s_dyn.Dyn.d_close ()
+
+(* a cold adjacent pair merges once the load moves away *)
+let test_controller_merges_cold_pair () =
+  let sh =
+    Stores.open_sharded
+      ~tweak:(fun o ->
+        {
+          (auto_elastic o) with
+          O.shards = 4;
+          shard_splits =
+            List.init 3 (fun i -> key ((i + 1) * keyspace / 4));
+          elastic_split_ratio = 100.0 (* merges only *);
+        })
+      ~env:(Env.create ()) Stores.Pebblesdb
+  in
+  let rng = Pdb_util.Rng.create 71 in
+  for i = 0 to 2_999 do
+    (* all load on the last quarter: shards 0-2 go cold *)
+    let k = key (3 * keyspace / 4 + Pdb_util.Rng.int rng (keyspace / 4)) in
+    sh.Stores.s_dyn.Dyn.d_put k (Printf.sprintf "m%06d" i)
+  done;
+  let st = sh.Stores.s_dyn.Dyn.d_stats () in
+  Alcotest.(check bool)
+    (Printf.sprintf "controller merged cold pairs (%d merges)"
+       st.Stats.elastic_merges)
+    true
+    (st.Stats.elastic_merges >= 1);
+  Alcotest.(check bool) "shard count shrank" true
+    (sh.Stores.s_shard_count () < 4);
+  sh.Stores.s_dyn.Dyn.d_close ()
+
+(* ---------- determinism across compaction worker counts ---------- *)
+
+let files_of env =
+  Env.list env
+  |> List.map (fun name ->
+         (name, Env.read_all env name ~hint:Pdb_simio.Device.Sequential_read))
+  |> List.sort compare
+
+(* the controller's decisions are op-count windowed and its split keys
+   come from a deterministic reservoir: worker count must change modeled
+   time only — same final topology, byte-identical files *)
+let test_worker_count_determinism engine () =
+  let run ~threads =
+    let env = Env.create () in
+    let sh =
+      Stores.open_sharded
+        ~tweak:(fun o ->
+          { (auto_elastic o) with O.compaction_threads = threads })
+        ~env engine
+    in
+    let rng = Pdb_util.Rng.create 81 in
+    for i = 0 to 3_499 do
+      let k =
+        if Pdb_util.Rng.int rng 10 < 8 then
+          key (Pdb_util.Rng.int rng (keyspace / 6))
+        else key (Pdb_util.Rng.int rng keyspace)
+      in
+      if Pdb_util.Rng.int rng 7 = 0 then sh.Stores.s_dyn.Dyn.d_delete k
+      else sh.Stores.s_dyn.Dyn.d_put k (Printf.sprintf "d%06d" i)
+    done;
+    let st = sh.Stores.s_dyn.Dyn.d_stats () in
+    let out =
+      ( sh.Stores.s_splits (),
+        sh.Stores.s_topo_version (),
+        st.Stats.elastic_splits,
+        st.Stats.elastic_merges )
+    in
+    sh.Stores.s_dyn.Dyn.d_close ();
+    (out, files_of env)
+  in
+  let (splits1, v1, s1, m1), f1 = run ~threads:1 in
+  let (splits4, v4, s4, m4), f4 = run ~threads:4 in
+  Alcotest.(check bool) "the run actually resplit" true (s1 >= 1);
+  Alcotest.(check (list string))
+    "identical split decisions at 1 vs 4 workers" splits1 splits4;
+  Alcotest.(check int) "identical topology version" v1 v4;
+  Alcotest.(check (pair int int))
+    "identical split/merge counts" (s1, m1) (s4, m4);
+  Alcotest.(check (list string))
+    "same file set at 1 vs 4 workers" (List.map fst f1) (List.map fst f4);
+  List.iter2
+    (fun (name, b1) (_, b4) ->
+      Alcotest.(check bool)
+        (name ^ " byte-identical at 1 vs 4 workers")
+        true (String.equal b1 b4))
+    f1 f4
+
+(* ---------- migration observability ---------- *)
+
+(* migration copy work must surface as [migrate:*] spans on the
+   destination scheduler's worker lanes — the same timeline rows (and
+   backlog accounting) as compaction *)
+let test_migrate_spans_on_worker_lanes () =
+  let env = Env.create () in
+  let tr = Trace.create () in
+  Env.set_tracer env tr;
+  let sh =
+    Stores.open_sharded ~tweak:(manual_elastic ~shards:2) ~env
+      Stores.Pebblesdb
+  in
+  let oracle = Hashtbl.create 256 in
+  fill sh oracle ~seed:91 ~n:1_500;
+  Alcotest.(check bool) "split accepted" true
+    (sh.Stores.s_split ~shard:0 ~key:(key (keyspace / 4)));
+  let evs = Trace.events tr in
+  let worker_lane (e : Trace.event) =
+    String.length e.Trace.lane >= 6 && String.sub e.Trace.lane 0 6 = "worker"
+  in
+  let copy_spans =
+    List.filter
+      (fun (e : Trace.event) -> e.Trace.name = "migrate:copy")
+      evs
+  in
+  Alcotest.(check bool) "migrate:copy spans present" true (copy_spans <> []);
+  List.iter
+    (fun (e : Trace.event) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "migrate:copy span on a worker lane (got %s)"
+           e.Trace.lane)
+        true (worker_lane e))
+    copy_spans;
+  Alcotest.(check bool) "migrate:clean spans present" true
+    (List.exists
+       (fun (e : Trace.event) -> e.Trace.name = "migrate:clean")
+       evs);
+  Alcotest.(check bool) "router install instant present" true
+    (List.exists
+       (fun (e : Trace.event) ->
+         e.Trace.cat = "migration" && e.Trace.lane = "router")
+       evs);
+  check_matches "traced split" sh oracle;
+  sh.Stores.s_dyn.Dyn.d_close ()
+
+let () =
+  Alcotest.run "elastic"
+    [
+      ( "split/merge",
+        [
+          Alcotest.test_case "pebblesdb split+merge" `Quick
+            (test_split_merge Stores.Pebblesdb);
+          Alcotest.test_case "leveldb split+merge" `Quick
+            (test_split_merge Stores.Leveldb);
+          Alcotest.test_case "kyotocabinet-sim split+merge (inline copy)"
+            `Quick
+            (test_split_merge Stores.Btree);
+          Alcotest.test_case "merge does not resurrect deletes" `Quick
+            test_merge_no_resurrection;
+        ] );
+      ( "fences",
+        [
+          Alcotest.test_case "snapshot pinned across a resplit" `Quick
+            test_snapshot_across_resplit;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "topology survives reopen" `Quick
+            test_topology_reopen;
+        ] );
+      ( "balance",
+        [
+          Alcotest.test_case "balance tracks migration (stale-balance \
+                              regression)"
+            `Quick test_balance_tracks_migration;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "splits the hot shard" `Quick
+            test_controller_splits_hot_shard;
+          Alcotest.test_case "merges cold pairs" `Quick
+            test_controller_merges_cold_pair;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "pebblesdb 1 vs 4 workers" `Quick
+            (test_worker_count_determinism Stores.Pebblesdb);
+          Alcotest.test_case "leveldb 1 vs 4 workers" `Quick
+            (test_worker_count_determinism Stores.Leveldb);
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "migrate spans on worker lanes" `Quick
+            test_migrate_spans_on_worker_lanes;
+        ] );
+    ]
